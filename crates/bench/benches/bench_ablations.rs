@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! CLS vs mean pooling, contrastive-budget sweep, and tensor-engine op
+//! costs (the substrate beneath every dynamic model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_bench::SEED;
+use er_core::rng::rng;
+use er_embed::bert::{BertEncoder, BertTrainConfig, Objective, Pooling};
+use er_embed::sbert::{train_sbert, SbertConfig};
+use er_embed::transformer::TransformerConfig;
+use er_embed::{LanguageModel, ModelCode};
+use er_text::corpus::synthetic_corpus;
+use er_text::WordPiece;
+use er_tensor::{Graph, Tensor};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn setup_encoder() -> BertEncoder {
+    let corpus = synthetic_corpus(80, &mut rng(21));
+    let slices: Vec<&[String]> = corpus.sentences().iter().map(Vec::as_slice).collect();
+    let wp = Arc::new(WordPiece::train(slices.into_iter(), 300));
+    let cfg = BertTrainConfig {
+        arch: TransformerConfig {
+            dim: 32,
+            layers: 2,
+            heads: 2,
+            ff_dim: 64,
+            max_seq: 24,
+            vocab_size: wp.vocab_size(),
+            share_layers: false,
+        },
+        objective: Objective::Mlm { mask_prob: 0.15 },
+        epochs: 1,
+        lr: 1e-3,
+        clip: 1.0,
+        sentence_pair_task: false,
+    };
+    BertEncoder::pretrain(&corpus, wp, &cfg, ModelCode::BT, SEED)
+}
+
+/// Pooling ablation (§3.3): CLS vs mean pooling — same forward cost,
+/// different quality; this measures the (identical) latency so the
+/// quality experiments can attribute differences purely to geometry.
+fn bench_pooling(c: &mut Criterion) {
+    let encoder = setup_encoder();
+    let mean = encoder.clone().with_pooling(Pooling::Mean);
+    let cls = encoder.with_pooling(Pooling::Cls);
+    let sentence = "digital camera with zoom lens and battery pack";
+    let mut group = c.benchmark_group("pooling_ablation");
+    group.bench_function("mean", |b| b.iter(|| black_box(mean.embed(black_box(sentence)))));
+    group.bench_function("cls", |b| b.iter(|| black_box(cls.embed(black_box(sentence)))));
+    group.finish();
+}
+
+/// Contrastive-budget ablation (the "wider corpus" lever of §5.1):
+/// training cost as the pair budget grows.
+fn bench_contrastive_budget(c: &mut Criterion) {
+    let corpus = synthetic_corpus(60, &mut rng(22));
+    let slices: Vec<&[String]> = corpus.sentences().iter().map(Vec::as_slice).collect();
+    let wp = Arc::new(WordPiece::train(slices.into_iter(), 300));
+    let arch = TransformerConfig {
+        dim: 16,
+        layers: 1,
+        heads: 2,
+        ff_dim: 32,
+        max_seq: 20,
+        vocab_size: wp.vocab_size(),
+        share_layers: false,
+    };
+    let mut group = c.benchmark_group("contrastive_ablation");
+    group.sample_size(10);
+    for pairs in [10usize, 40] {
+        let cfg = SbertConfig { arch: arch.clone(), mlm_epochs: 0, pairs, lr: 1e-3, noise: 0.5 };
+        let wp = wp.clone();
+        let corpus = corpus.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(pairs), &pairs, move |b, _| {
+            b.iter(|| {
+                black_box(train_sbert(&corpus, wp.clone(), &cfg, ModelCode::ST, SEED));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Tensor-engine op costs: the gemm and attention-shaped workloads at the
+/// sizes the zoo uses.
+fn bench_tensor_ops(c: &mut Criterion) {
+    let mut r = rng(23);
+    let a = Tensor::randn(48, 128, 1.0, &mut r);
+    let w = Tensor::randn(128, 128, 1.0, &mut r);
+    let mut group = c.benchmark_group("tensor_ops");
+    group.bench_function("matmul_48x128x128", |b| {
+        b.iter(|| black_box(er_tensor::tensor::matmul(&a, &w)));
+    });
+    group.bench_function("matmul_nt_48x128_48x128", |b| {
+        b.iter(|| black_box(er_tensor::tensor::matmul_nt(&a, &a)));
+    });
+    group.bench_function("softmax_rows_48x48", |b| {
+        let scores = er_tensor::tensor::matmul_nt(&a, &a);
+        b.iter(|| {
+            let mut g = Graph::new();
+            let x = g.constant(scores.clone());
+            black_box(g.softmax(x));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pooling, bench_contrastive_budget, bench_tensor_ops);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks behind Figures 12/13: NNS index build and
+//! query cost — exact scan vs HNSW vs hyperplane LSH — plus the HNSW
+//! parameter ablation (efSearch sweep) called out in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_core::rng::rng;
+use er_core::Embedding;
+use er_index::exact::ExactIndex;
+use er_index::hnsw::{HnswConfig, HnswIndex};
+use er_index::lsh::HyperplaneLsh;
+use er_index::NnIndex;
+use rand::Rng;
+use std::hint::black_box;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Embedding> {
+    let mut r = rng(seed);
+    (0..n).map(|_| Embedding((0..dim).map(|_| r.gen_range(-1.0..1.0)).collect())).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let vectors = random_vectors(2_000, 64, 3);
+    let mut group = c.benchmark_group("fig13_index_build");
+    group.sample_size(10);
+    group.bench_function("exact", |b| b.iter(|| black_box(ExactIndex::build(&vectors))));
+    group.bench_function("hnsw", |b| {
+        b.iter(|| black_box(HnswIndex::build(&vectors, HnswConfig::default())));
+    });
+    group.bench_function("hyperplane_lsh", |b| {
+        b.iter(|| black_box(HyperplaneLsh::build(&vectors, 8, 12, 3)));
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let vectors = random_vectors(5_000, 64, 4);
+    let queries = random_vectors(16, 64, 5);
+    let exact = ExactIndex::build(&vectors);
+    let hnsw = HnswIndex::build(&vectors, HnswConfig::default());
+    let lsh = HyperplaneLsh::build(&vectors, 8, 12, 3);
+
+    let mut group = c.benchmark_group("fig12_index_query_k10");
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(exact.search(q, 10));
+            }
+        });
+    });
+    group.bench_function("hnsw", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(hnsw.search(q, 10));
+            }
+        });
+    });
+    group.bench_function("hyperplane_lsh", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(lsh.search(q, 10));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// HNSW ablation: recall/latency as efSearch grows (the FAISS
+/// configuration choice of §4.3).
+fn bench_hnsw_ablation(c: &mut Criterion) {
+    let vectors = random_vectors(5_000, 64, 6);
+    let queries = random_vectors(16, 64, 7);
+    let mut group = c.benchmark_group("hnsw_ablation_ef_search");
+    for ef in [16usize, 64, 256] {
+        let index = HnswIndex::build(
+            &vectors,
+            HnswConfig { ef_search: ef, ..Default::default() },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(ef), &ef, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.search(q, 10));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Dimensionality ablation: the 300-vs-768-d cost discussion of §6.2.
+fn bench_dimension_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dimension_ablation_exact_query");
+    for dim in [32usize, 64, 128, 256] {
+        let vectors = random_vectors(2_000, dim, 8);
+        let queries = random_vectors(16, dim, 9);
+        let index = ExactIndex::build(&vectors);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(index.search(q, 10));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query, bench_hnsw_ablation, bench_dimension_ablation);
+criterion_main!(benches);

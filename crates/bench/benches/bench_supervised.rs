@@ -1,0 +1,98 @@
+//! Criterion benches behind Table 6 plus the pair-architecture ablation
+//! (DESIGN.md §1): siamese-interaction vs cross-encoder training cost,
+//! and per-pair prediction latency (the `t_e` column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_bench::SEED;
+use er_core::rng::rng;
+use er_datasets::cleanclean::{generate, CleanCleanSpec, Domain};
+use er_datasets::dsm::build_pair_dataset;
+use er_datasets::PairDataset;
+use er_embed::bert::{BertEncoder, BertTrainConfig, Objective};
+use er_embed::transformer::TransformerConfig;
+use er_embed::ModelCode;
+use er_matching::supervised::{
+    EmTransformerConfig, EmTransformerMatcher, PairArchitecture,
+};
+use er_text::corpus::synthetic_corpus;
+use er_text::{Corpus, WordPiece};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn fixture() -> (BertEncoder, PairDataset) {
+    let base = generate(
+        &CleanCleanSpec {
+            name: "bench-pairs".into(),
+            domain: Domain::Product,
+            size1: 60,
+            size2: 70,
+            duplicates: 40,
+            noise: 0.25,
+            missing: 0.0,
+            long_text: false,
+        },
+        SEED,
+    );
+    let data = build_pair_dataset("bench", base, 3.0, SEED);
+    let mut corpus: Corpus = synthetic_corpus(60, &mut rng(31));
+    for s in data.dataset.all_sentences(&er_core::SerializationMode::SchemaAgnostic) {
+        corpus.push_text(&s);
+    }
+    let slices: Vec<&[String]> = corpus.sentences().iter().map(Vec::as_slice).collect();
+    let wp = Arc::new(WordPiece::train(slices.into_iter(), 400));
+    let cfg = BertTrainConfig {
+        arch: TransformerConfig {
+            dim: 32,
+            layers: 2,
+            heads: 2,
+            ff_dim: 64,
+            max_seq: 32,
+            vocab_size: wp.vocab_size(),
+            share_layers: false,
+        },
+        objective: Objective::Mlm { mask_prob: 0.15 },
+        epochs: 1,
+        lr: 1e-3,
+        clip: 1.0,
+        sentence_pair_task: true,
+    };
+    let encoder = BertEncoder::pretrain(&corpus, wp, &cfg, ModelCode::BT, SEED);
+    (encoder, data)
+}
+
+fn bench_architecture_ablation(c: &mut Criterion) {
+    let (encoder, data) = fixture();
+    let mut group = c.benchmark_group("pair_architecture_ablation_train");
+    group.sample_size(10);
+    for (name, arch) in [
+        ("siamese_interaction", PairArchitecture::SiameseInteraction),
+        ("cross_encoder", PairArchitecture::CrossEncoder),
+    ] {
+        let cfg = EmTransformerConfig {
+            epochs: 1,
+            train_cap: 100,
+            architecture: arch,
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(EmTransformerMatcher::train(&encoder, &data, &cfg, SEED)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction_latency(c: &mut Criterion) {
+    let (encoder, data) = fixture();
+    let cfg = EmTransformerConfig { epochs: 1, train_cap: 50, ..Default::default() };
+    let (matcher, _) = EmTransformerMatcher::train(&encoder, &data, &cfg, SEED);
+    let a = "wireless speaker stereo audio deluxe edition";
+    let b = "wireless speker stereo audio deluxe";
+    let mut group = c.benchmark_group("table6_prediction_latency");
+    group.bench_function("predict_pair", |bch| {
+        bch.iter(|| black_box(matcher.predict(black_box(a), black_box(b))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_architecture_ablation, bench_prediction_latency);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks behind Table 4: per-sentence vectorization
+//! cost per model category — static lookup vs transformer forward pass,
+//! with the S-MiniLM-vs-full-size contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_bench::SEED;
+use er_core::rng::rng;
+use er_embed::{LanguageModel, ModelCode, ModelZoo, ZooConfig};
+use er_text::corpus::synthetic_corpus;
+use std::hint::black_box;
+
+fn bench_vectorization(c: &mut Criterion) {
+    let zoo = ModelZoo::pretrain(None, &ZooConfig::fast(), SEED);
+    let corpus = synthetic_corpus(20, &mut rng(1));
+    let sentence = corpus.sentences()[0].join(" ");
+    let long_sentence = corpus
+        .sentences()
+        .iter()
+        .take(5)
+        .map(|s| s.join(" "))
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    let mut group = c.benchmark_group("table4_vectorization");
+    for code in [
+        ModelCode::WC,
+        ModelCode::GE,
+        ModelCode::FT,
+        ModelCode::BT,
+        ModelCode::DT,
+        ModelCode::S5,
+        ModelCode::SM,
+    ] {
+        let model = zoo.get(code).clone();
+        group.bench_with_input(BenchmarkId::new("short", code.to_string()), &sentence, |b, s| {
+            b.iter(|| black_box(model.embed(black_box(s))));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("long", code.to_string()),
+            &long_sentence,
+            |b, s| {
+                b.iter(|| black_box(model.embed(black_box(s))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectorization);
+criterion_main!(benches);
