@@ -9,9 +9,9 @@ use er_embed::bert::{BertEncoder, BertTrainConfig, Objective, Pooling};
 use er_embed::sbert::{train_sbert, SbertConfig};
 use er_embed::transformer::TransformerConfig;
 use er_embed::{LanguageModel, ModelCode};
+use er_tensor::{Graph, Tensor};
 use er_text::corpus::synthetic_corpus;
 use er_text::WordPiece;
-use er_tensor::{Graph, Tensor};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -47,8 +47,12 @@ fn bench_pooling(c: &mut Criterion) {
     let cls = encoder.with_pooling(Pooling::Cls);
     let sentence = "digital camera with zoom lens and battery pack";
     let mut group = c.benchmark_group("pooling_ablation");
-    group.bench_function("mean", |b| b.iter(|| black_box(mean.embed(black_box(sentence)))));
-    group.bench_function("cls", |b| b.iter(|| black_box(cls.embed(black_box(sentence)))));
+    group.bench_function("mean", |b| {
+        b.iter(|| black_box(mean.embed(black_box(sentence))))
+    });
+    group.bench_function("cls", |b| {
+        b.iter(|| black_box(cls.embed(black_box(sentence))))
+    });
     group.finish();
 }
 
@@ -70,7 +74,13 @@ fn bench_contrastive_budget(c: &mut Criterion) {
     let mut group = c.benchmark_group("contrastive_ablation");
     group.sample_size(10);
     for pairs in [10usize, 40] {
-        let cfg = SbertConfig { arch: arch.clone(), mlm_epochs: 0, pairs, lr: 1e-3, noise: 0.5 };
+        let cfg = SbertConfig {
+            arch: arch.clone(),
+            mlm_epochs: 0,
+            pairs,
+            lr: 1e-3,
+            noise: 0.5,
+        };
         let wp = wp.clone();
         let corpus = corpus.clone();
         group.bench_with_input(BenchmarkId::from_parameter(pairs), &pairs, move |b, _| {
@@ -106,5 +116,10 @@ fn bench_tensor_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pooling, bench_contrastive_budget, bench_tensor_ops);
+criterion_group!(
+    benches,
+    bench_pooling,
+    bench_contrastive_budget,
+    bench_tensor_ops
+);
 criterion_main!(benches);

@@ -14,14 +14,18 @@ use std::hint::black_box;
 
 fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Embedding> {
     let mut r = rng(seed);
-    (0..n).map(|_| Embedding((0..dim).map(|_| r.gen_range(-1.0..1.0)).collect())).collect()
+    (0..n)
+        .map(|_| Embedding((0..dim).map(|_| r.gen_range(-1.0..1.0)).collect()))
+        .collect()
 }
 
 fn bench_build(c: &mut Criterion) {
     let vectors = random_vectors(2_000, 64, 3);
     let mut group = c.benchmark_group("fig13_index_build");
     group.sample_size(10);
-    group.bench_function("exact", |b| b.iter(|| black_box(ExactIndex::build(&vectors))));
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(ExactIndex::build(&vectors)))
+    });
     group.bench_function("hnsw", |b| {
         b.iter(|| black_box(HnswIndex::build(&vectors, HnswConfig::default())));
     });
@@ -72,7 +76,10 @@ fn bench_hnsw_ablation(c: &mut Criterion) {
     for ef in [16usize, 64, 256] {
         let index = HnswIndex::build(
             &vectors,
-            HnswConfig { ef_search: ef, ..Default::default() },
+            HnswConfig {
+                ef_search: ef,
+                ..Default::default()
+            },
         );
         group.bench_with_input(BenchmarkId::from_parameter(ef), &ef, |b, _| {
             b.iter(|| {
@@ -103,5 +110,11 @@ fn bench_dimension_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_query, bench_hnsw_ablation, bench_dimension_ablation);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_query,
+    bench_hnsw_ablation,
+    bench_dimension_ablation
+);
 criterion_main!(benches);

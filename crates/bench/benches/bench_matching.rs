@@ -17,7 +17,11 @@ fn scored_pairs(n_left: u32, n_right: u32, seed: u64) -> Vec<ScoredPair> {
     let mut out = Vec::with_capacity((n_left * n_right) as usize);
     for l in 0..n_left {
         for rr in 0..n_right {
-            out.push(ScoredPair::new(EntityId(l), EntityId(rr), r.gen_range(0.0..1.0)));
+            out.push(ScoredPair::new(
+                EntityId(l),
+                EntityId(rr),
+                r.gen_range(0.0..1.0),
+            ));
         }
     }
     out
@@ -28,11 +32,9 @@ fn bench_umc(c: &mut Criterion) {
     group.sample_size(20);
     for n in [100u32, 300] {
         let pairs = scored_pairs(n, n, 11);
-        group.bench_with_input(
-            BenchmarkId::new("all_pairs", n * n),
-            &pairs,
-            |b, pairs| b.iter(|| black_box(unique_mapping_clustering(pairs, 0.5))),
-        );
+        group.bench_with_input(BenchmarkId::new("all_pairs", n * n), &pairs, |b, pairs| {
+            b.iter(|| black_box(unique_mapping_clustering(pairs, 0.5)))
+        });
     }
     group.finish();
 }
@@ -52,7 +54,9 @@ fn bench_string_similarities(c: &mut Criterion) {
     let a = "golden palace grill 123 main street springfield italian";
     let b = "goldn palace gril main street 123 springfeild restaurant";
     let mut group = c.benchmark_group("table5b_zeroer_features");
-    group.bench_function("jaccard", |bch| bch.iter(|| black_box(similarity::jaccard(a, b))));
+    group.bench_function("jaccard", |bch| {
+        bch.iter(|| black_box(similarity::jaccard(a, b)))
+    });
     group.bench_function("levenshtein", |bch| {
         bch.iter(|| black_box(similarity::levenshtein_sim(a, b)));
     });

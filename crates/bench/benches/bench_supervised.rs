@@ -11,9 +11,7 @@ use er_datasets::PairDataset;
 use er_embed::bert::{BertEncoder, BertTrainConfig, Objective};
 use er_embed::transformer::TransformerConfig;
 use er_embed::ModelCode;
-use er_matching::supervised::{
-    EmTransformerConfig, EmTransformerMatcher, PairArchitecture,
-};
+use er_matching::supervised::{EmTransformerConfig, EmTransformerMatcher, PairArchitecture};
 use er_text::corpus::synthetic_corpus;
 use er_text::{Corpus, WordPiece};
 use std::hint::black_box;
@@ -35,7 +33,10 @@ fn fixture() -> (BertEncoder, PairDataset) {
     );
     let data = build_pair_dataset("bench", base, 3.0, SEED);
     let mut corpus: Corpus = synthetic_corpus(60, &mut rng(31));
-    for s in data.dataset.all_sentences(&er_core::SerializationMode::SchemaAgnostic) {
+    for s in data
+        .dataset
+        .all_sentences(&er_core::SerializationMode::SchemaAgnostic)
+    {
         corpus.push_text(&s);
     }
     let slices: Vec<&[String]> = corpus.sentences().iter().map(Vec::as_slice).collect();
@@ -83,7 +84,11 @@ fn bench_architecture_ablation(c: &mut Criterion) {
 
 fn bench_prediction_latency(c: &mut Criterion) {
     let (encoder, data) = fixture();
-    let cfg = EmTransformerConfig { epochs: 1, train_cap: 50, ..Default::default() };
+    let cfg = EmTransformerConfig {
+        epochs: 1,
+        train_cap: 50,
+        ..Default::default()
+    };
     let (matcher, _) = EmTransformerMatcher::train(&encoder, &data, &cfg, SEED);
     let a = "wireless speaker stereo audio deluxe edition";
     let b = "wireless speker stereo audio deluxe";
@@ -94,5 +99,9 @@ fn bench_prediction_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_architecture_ablation, bench_prediction_latency);
+criterion_group!(
+    benches,
+    bench_architecture_ablation,
+    bench_prediction_latency
+);
 criterion_main!(benches);

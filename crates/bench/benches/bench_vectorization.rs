@@ -32,9 +32,13 @@ fn bench_vectorization(c: &mut Criterion) {
         ModelCode::SM,
     ] {
         let model = zoo.get(code).clone();
-        group.bench_with_input(BenchmarkId::new("short", code.to_string()), &sentence, |b, s| {
-            b.iter(|| black_box(model.embed(black_box(s))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("short", code.to_string()),
+            &sentence,
+            |b, s| {
+                b.iter(|| black_box(model.embed(black_box(s))));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("long", code.to_string()),
             &long_sentence,

@@ -1,0 +1,22 @@
+//! er-bench — experiment binaries and Criterion benches (DESIGN.md §4).
+//!
+//! The benches under `benches/` are the API contracts for the full paper
+//! reproduction; each is enabled in `Cargo.toml` as its subsystem lands.
+
+/// The global experiment seed. Every table and figure regenerates from this
+/// one value; changing it invalidates all cached zoo weights.
+pub const SEED: u64 = 42;
+
+#[cfg(test)]
+mod tests {
+    use super::SEED;
+    use er_core::rng::rng;
+    use rand::Rng;
+
+    #[test]
+    fn seed_drives_a_deterministic_stream() {
+        let a: u64 = rng(SEED).gen_range(0..u64::MAX);
+        let b: u64 = rng(SEED).gen_range(0..u64::MAX);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,72 @@
+//! er-blocking — blocking (DESIGN.md inventory rows 12–14: embedding top-k
+//! blocker + candidate-set machinery, DeepBlocker-style Auto-Encoder
+//! blocker, token-overlap blocking).
+//!
+//! This PR ships the candidate-set machinery (row 12's redundant-pair
+//! dedup); the blockers themselves land with the blocking PR on top of
+//! `er-index`.
+
+use er_core::EntityId;
+
+/// Deduplicate candidate pairs produced by redundancy-positive blocking
+/// (k-NN from both sides, multiple blocks). Order-normalizes each pair for
+/// Dirty ER when `dirty` is set, drops self-pairs, and returns a sorted,
+/// unique candidate list.
+pub fn dedup_candidates(
+    pairs: impl IntoIterator<Item = (EntityId, EntityId)>,
+    dirty: bool,
+) -> Vec<(EntityId, EntityId)> {
+    let mut out: Vec<(EntityId, EntityId)> = pairs
+        .into_iter()
+        .filter_map(|(a, b)| {
+            if dirty {
+                match a.0.cmp(&b.0) {
+                    std::cmp::Ordering::Less => Some((a, b)),
+                    std::cmp::Ordering::Equal => None,
+                    std::cmp::Ordering::Greater => Some((b, a)),
+                }
+            } else {
+                Some((a, b))
+            }
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_mode_normalizes_direction_and_drops_self_pairs() {
+        let raw = vec![
+            (EntityId(2), EntityId(1)),
+            (EntityId(1), EntityId(2)),
+            (EntityId(3), EntityId(3)),
+            (EntityId(1), EntityId(4)),
+        ];
+        let deduped = dedup_candidates(raw, true);
+        assert_eq!(
+            deduped,
+            vec![(EntityId(1), EntityId(2)), (EntityId(1), EntityId(4))]
+        );
+    }
+
+    #[test]
+    fn clean_clean_keeps_direction() {
+        // Left/right ids are distinct namespaces in Clean-Clean ER: (2,1)
+        // means left#2 vs right#1 and must not be flipped.
+        let raw = vec![
+            (EntityId(2), EntityId(1)),
+            (EntityId(2), EntityId(1)),
+            (EntityId(1), EntityId(1)),
+        ];
+        let deduped = dedup_candidates(raw, false);
+        assert_eq!(
+            deduped,
+            vec![(EntityId(1), EntityId(1)), (EntityId(2), EntityId(1))]
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Workspace error type: coarse categories, rich messages.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErError {
+    /// Filesystem / IO failures (model cache, result files).
+    Io(String),
+    /// Malformed persisted data (JSON parse, schema mismatch).
+    Parse(String),
+    /// Model misuse (unknown model code, dimension mismatch).
+    Model(String),
+}
+
+pub type Result<T> = std::result::Result<T, ErError>;
+
+impl fmt::Display for ErError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErError::Io(msg) => write!(f, "io error: {msg}"),
+            ErError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ErError::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ErError {}
+
+impl From<std::io::Error> for ErError {
+    fn from(e: std::io::Error) -> Self {
+        ErError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = ErError::Parse("unexpected token at 12".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token at 12");
+    }
+}

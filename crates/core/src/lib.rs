@@ -1,0 +1,16 @@
+//! `er-core` — the shared vocabulary of the `embeddings4er` workspace
+//! (DESIGN.md inventory row 26 feeds off it; every other crate imports it).
+//!
+//! Provides the entity model ([`Entity`], [`EntityId`], [`SerializationMode`]),
+//! the vector type every language model emits ([`Embedding`]), evaluation
+//! primitives ([`GroundTruth`], [`ScoredPair`]), the workspace error type
+//! ([`ErError`]), a portable seeded RNG ([`rng::rng`]) and a dependency-free
+//! JSON reader/writer ([`json`]) used for model persistence.
+
+pub mod entity;
+pub mod error;
+pub mod json;
+pub mod rng;
+
+pub use entity::{Embedding, Entity, EntityId, GroundTruth, ScoredPair, SerializationMode};
+pub use error::{ErError, Result};

@@ -1,0 +1,300 @@
+//! FastText: char-n-gram SGNS over hashed subword buckets, trained from
+//! scratch (paper model **FT**; DESIGN.md inventory row 5).
+//!
+//! Mechanics preserved from Bojanowski et al. 2017: a word is represented
+//! as the average of its word vector and its hashed n-gram bucket vectors,
+//! gradients flow into every component, and — crucially for the paper's
+//! Fig. 3 findings — an **out-of-vocabulary word still embeds** through the
+//! buckets of its n-grams, so typo'd tokens land near their clean form
+//! where GloVe collapses to zero.
+
+use crate::sgns::{decayed_lr, sgns_step, NegTable};
+use crate::vocab::Vocab;
+use crate::word2vec::SgnsParams;
+use crate::{mean_pool, LanguageModel, ModelCode};
+use er_core::json::Json;
+use er_core::rng::derive;
+use er_core::{Embedding, ErError, Result};
+use er_text::ngram::hashed_ngrams;
+use er_text::{tokenize, Corpus};
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct FastText {
+    vocab: Vocab,
+    dim: usize,
+    nmin: usize,
+    nmax: usize,
+    buckets: usize,
+    /// Per-token vectors, `vocab.len() * dim`.
+    word_vecs: Vec<f32>,
+    /// Subword bucket vectors, `buckets * dim`.
+    bucket_vecs: Vec<f32>,
+    init_ns: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct FastTextParams {
+    pub sgns: SgnsParams,
+    pub nmin: usize,
+    pub nmax: usize,
+    pub buckets: usize,
+}
+
+impl FastText {
+    pub fn train(corpus: &Corpus, vocab: Vocab, params: &FastTextParams, seed: u64) -> FastText {
+        let start = Instant::now();
+        let dim = params.sgns.dim;
+        let mut rng = derive(seed, "fasttext");
+
+        // Precompute each vocabulary word's bucket ids once.
+        let ngram_ids: Vec<Vec<u32>> = (0..vocab.len() as u32)
+            .map(|id| hashed_ngrams(vocab.token(id), params.nmin, params.nmax, params.buckets))
+            .collect();
+
+        let mut word_vecs: Vec<f32> = (0..vocab.len() * dim)
+            .map(|_| (rng.gen_range(0.0f32..1.0) - 0.5) / dim as f32)
+            .collect();
+        let mut bucket_vecs: Vec<f32> = (0..params.buckets * dim)
+            .map(|_| (rng.gen_range(0.0f32..1.0) - 0.5) / dim as f32)
+            .collect();
+        let mut out_vecs = vec![0.0f32; vocab.len() * dim];
+        let table = NegTable::build(vocab.counts());
+
+        let encoded: Vec<Vec<u32>> = corpus.sentences().iter().map(|s| vocab.encode(s)).collect();
+        let total_tokens: usize =
+            encoded.iter().map(Vec::len).sum::<usize>().max(1) * params.sgns.epochs;
+        let mut processed = 0usize;
+        let mut h = vec![0.0f32; dim];
+        let mut grad_h = vec![0.0f32; dim];
+
+        for _epoch in 0..params.sgns.epochs {
+            for sentence in &encoded {
+                for (i, &center) in sentence.iter().enumerate() {
+                    processed += 1;
+                    let lr = decayed_lr(params.sgns.lr, processed as f32 / total_tokens as f32);
+                    let span = rng.gen_range(1..=params.sgns.window);
+                    let lo = i.saturating_sub(span);
+                    let hi = (i + span).min(sentence.len() - 1);
+
+                    let center = center as usize;
+                    let grams = &ngram_ids[center];
+                    let parts = (1 + grams.len()) as f32;
+
+                    for (j, &ctx) in sentence.iter().enumerate().take(hi + 1).skip(lo) {
+                        if j == i {
+                            continue;
+                        }
+                        let context = ctx as usize;
+
+                        // h = average of word vector and subword buckets.
+                        h.copy_from_slice(&word_vecs[center * dim..(center + 1) * dim]);
+                        for &g in grams {
+                            let row = &bucket_vecs[g as usize * dim..(g as usize + 1) * dim];
+                            for (hd, bd) in h.iter_mut().zip(row) {
+                                *hd += bd;
+                            }
+                        }
+                        for hd in h.iter_mut() {
+                            *hd /= parts;
+                        }
+
+                        grad_h.fill(0.0);
+                        sgns_step(&h, &mut grad_h, &mut out_vecs, context, 1.0, lr);
+                        for _ in 0..params.sgns.negatives {
+                            let neg = table.sample(&mut rng) as usize;
+                            if neg == context {
+                                continue;
+                            }
+                            sgns_step(&h, &mut grad_h, &mut out_vecs, neg, 0.0, lr);
+                        }
+
+                        // Distribute the input gradient over all components.
+                        let scale = 1.0 / parts;
+                        for (wd, g) in word_vecs[center * dim..(center + 1) * dim]
+                            .iter_mut()
+                            .zip(&grad_h)
+                        {
+                            *wd += g * scale;
+                        }
+                        for &gid in grams {
+                            let row =
+                                &mut bucket_vecs[gid as usize * dim..(gid as usize + 1) * dim];
+                            for (bd, g) in row.iter_mut().zip(&grad_h) {
+                                *bd += g * scale;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        FastText {
+            vocab,
+            dim,
+            nmin: params.nmin,
+            nmax: params.nmax,
+            buckets: params.buckets,
+            word_vecs,
+            bucket_vecs,
+            init_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// A single token's vector: word vector averaged with its subword
+    /// buckets when in-vocabulary, subword buckets alone otherwise. Only
+    /// tokens with no characters at all have no representation.
+    pub fn token_vector(&self, token: &str) -> Option<Embedding> {
+        if token.is_empty() {
+            return None;
+        }
+        let grams = hashed_ngrams(token, self.nmin, self.nmax, self.buckets);
+        let mut v = vec![0.0f32; self.dim];
+        let mut parts = 0.0f32;
+        if let Some(id) = self.vocab.id(token) {
+            let row = &self.word_vecs[id as usize * self.dim..(id as usize + 1) * self.dim];
+            for (vd, wd) in v.iter_mut().zip(row) {
+                *vd += wd;
+            }
+            parts += 1.0;
+        }
+        for &g in &grams {
+            let row = &self.bucket_vecs[g as usize * self.dim..(g as usize + 1) * self.dim];
+            for (vd, bd) in v.iter_mut().zip(row) {
+                *vd += bd;
+            }
+            parts += 1.0;
+        }
+        if parts == 0.0 {
+            return None;
+        }
+        for vd in v.iter_mut() {
+            *vd /= parts;
+        }
+        Some(Embedding(v))
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("vocab".into(), self.vocab.to_json()),
+            ("dim".into(), Json::from_usize(self.dim)),
+            ("nmin".into(), Json::from_usize(self.nmin)),
+            ("nmax".into(), Json::from_usize(self.nmax)),
+            ("buckets".into(), Json::from_usize(self.buckets)),
+            ("word_vectors".into(), Json::from_f32_slice(&self.word_vecs)),
+            (
+                "bucket_vectors".into(),
+                Json::from_f32_slice(&self.bucket_vecs),
+            ),
+        ])
+    }
+
+    pub fn from_json(json: &Json, init_ns: u64) -> Result<FastText> {
+        let vocab = Vocab::from_json(json.expect("vocab")?)?;
+        let dim = json.expect("dim")?.as_usize()?;
+        let nmin = json.expect("nmin")?.as_usize()?;
+        let nmax = json.expect("nmax")?.as_usize()?;
+        let buckets = json.expect("buckets")?.as_usize()?;
+        let word_vecs = json.expect("word_vectors")?.as_f32_vec()?;
+        let bucket_vecs = json.expect("bucket_vectors")?.as_f32_vec()?;
+        crate::check_matrix_shape("FastText words", &word_vecs, vocab.len(), dim)?;
+        crate::check_matrix_shape("FastText buckets", &bucket_vecs, buckets, dim)?;
+        if nmin < 1 || nmin > nmax {
+            return Err(ErError::Parse(format!("bad n-gram range {nmin}..={nmax}")));
+        }
+        Ok(FastText {
+            vocab,
+            dim,
+            nmin,
+            nmax,
+            buckets,
+            word_vecs,
+            bucket_vecs,
+            init_ns,
+        })
+    }
+
+    pub(crate) fn init_ns(&self) -> u64 {
+        self.init_ns
+    }
+}
+
+impl LanguageModel for FastText {
+    fn code(&self) -> ModelCode {
+        ModelCode::FT
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn init_time(&self) -> Duration {
+        Duration::from_nanos(self.init_ns)
+    }
+
+    fn embed(&self, text: &str) -> Embedding {
+        let tokens = tokenize(text);
+        let vecs: Vec<Embedding> = tokens.iter().filter_map(|t| self.token_vector(t)).collect();
+        mean_pool(vecs.iter().map(Embedding::as_slice), self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_params() -> FastTextParams {
+        FastTextParams {
+            sgns: SgnsParams {
+                dim: 16,
+                window: 2,
+                negatives: 3,
+                epochs: 20,
+                lr: 0.05,
+            },
+            nmin: 3,
+            nmax: 5,
+            buckets: 512,
+        }
+    }
+
+    fn toy_corpus() -> Corpus {
+        let mut c = Corpus::new();
+        for _ in 0..30 {
+            c.push_text("golden restaurant downtown plaza");
+            c.push_text("restaurant golden kitchen plaza");
+            c.push_text("digital camera battery charger");
+        }
+        c
+    }
+
+    #[test]
+    fn oov_words_still_embed_via_subwords() {
+        let corpus = toy_corpus();
+        let vocab = Vocab::build(&corpus, 1);
+        let model = FastText::train(&corpus, vocab, &toy_params(), 13);
+        assert!(model.vocab().id("restaurnat").is_none(), "typo must be OOV");
+        let typo = model.embed("restaurnat");
+        assert_ne!(typo, Embedding::zeros(16), "subword fallback must fire");
+        let clean = model.embed("restaurant");
+        assert!(
+            clean.cosine(&typo) > 0.5,
+            "typo should stay near clean form, got {}",
+            clean.cosine(&typo)
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_embeddings() {
+        let corpus = toy_corpus();
+        let vocab = Vocab::build(&corpus, 1);
+        let model = FastText::train(&corpus, vocab, &toy_params(), 13);
+        let back = FastText::from_json(&model.to_json(), model.init_ns()).unwrap();
+        assert_eq!(model.embed("golden kamera"), back.embed("golden kamera"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared skip-gram-with-negative-sampling machinery (Mikolov et al. 2013),
+//! used by both Word2Vec and FastText.
+
+use er_core::rng::DetRng;
+use rand::Rng;
+
+/// Numerically safe logistic function (inputs clamped to ±8, where the
+/// gradient is effectively zero anyway).
+#[inline]
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    let x = x.clamp(-8.0, 8.0);
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Unigram^0.75 negative-sampling table (word2vec's distribution).
+pub(crate) struct NegTable {
+    table: Vec<u32>,
+}
+
+impl NegTable {
+    const SIZE: usize = 1 << 16;
+
+    pub fn build(counts: &[u32]) -> NegTable {
+        assert!(!counts.is_empty(), "cannot build table over empty vocab");
+        let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut table = Vec::with_capacity(Self::SIZE);
+        let mut cum = 0.0;
+        let mut id = 0usize;
+        for slot in 0..Self::SIZE {
+            let target = (slot as f64 + 0.5) / Self::SIZE as f64 * total;
+            while cum + weights[id] < target && id + 1 < counts.len() {
+                cum += weights[id];
+                id += 1;
+            }
+            table.push(id as u32);
+        }
+        NegTable { table }
+    }
+
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> u32 {
+        self.table[rng.gen_range(0..self.table.len())]
+    }
+}
+
+/// Linearly decaying learning rate, floored at 10% of the initial rate
+/// (word2vec.c's schedule).
+#[inline]
+pub(crate) fn decayed_lr(lr0: f32, progress: f32) -> f32 {
+    lr0 * (1.0 - progress).max(0.1)
+}
+
+/// One SGNS update for an input representation `h` against `target`'s
+/// output vector, accumulating the input gradient in `grad_h`.
+#[inline]
+pub(crate) fn sgns_step(
+    h: &[f32],
+    grad_h: &mut [f32],
+    out_vecs: &mut [f32],
+    target: usize,
+    label: f32,
+    lr: f32,
+) {
+    let dim = h.len();
+    let out = &mut out_vecs[target * dim..(target + 1) * dim];
+    let dot: f32 = h.iter().zip(out.iter()).map(|(a, b)| a * b).sum();
+    let g = (label - sigmoid(dot)) * lr;
+    for d in 0..dim {
+        grad_h[d] += g * out[d];
+        out[d] += g * h[d];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::rng::rng;
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotone() {
+        assert!(sigmoid(-100.0) > 0.0);
+        assert!(sigmoid(100.0) < 1.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(1.0) > sigmoid(-1.0));
+    }
+
+    #[test]
+    fn neg_table_prefers_frequent_words() {
+        let table = NegTable::build(&[100, 10, 1]);
+        let mut r = rng(5);
+        let mut hits = [0usize; 3];
+        for _ in 0..10_000 {
+            hits[table.sample(&mut r) as usize] += 1;
+        }
+        assert!(hits[0] > hits[1]);
+        assert!(hits[1] > hits[2]);
+        assert!(hits[2] > 0, "rare words must still be sampled");
+    }
+
+    #[test]
+    fn sgns_step_pulls_positive_pairs_together() {
+        let h = vec![0.5f32, -0.25, 0.1];
+        let mut grad = vec![0.0f32; 3];
+        let mut out = vec![0.4f32, 0.4, 0.4];
+        let before: f32 = h.iter().zip(&out).map(|(a, b)| a * b).sum();
+        for _ in 0..50 {
+            sgns_step(&h, &mut grad, &mut out, 0, 1.0, 0.1);
+        }
+        let after: f32 = h.iter().zip(&out).map(|(a, b)| a * b).sum();
+        assert!(after > before, "positive update must raise the score");
+    }
+}

@@ -1,0 +1,179 @@
+//! Token vocabulary shared by the static models.
+//!
+//! Ids are assigned by descending corpus frequency with a lexicographic
+//! tiebreak, so vocabulary construction is deterministic for a fixed
+//! corpus regardless of hash-map iteration order.
+
+use er_core::json::Json;
+use er_core::{ErError, Result};
+use er_text::Corpus;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    counts: Vec<u32>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Build from a corpus, keeping tokens seen at least `min_count` times.
+    pub fn build(corpus: &Corpus, min_count: u32) -> Vocab {
+        let mut freq: HashMap<&str, u32> = HashMap::new();
+        for sentence in corpus.sentences() {
+            for token in sentence {
+                *freq.entry(token.as_str()).or_default() += 1;
+            }
+        }
+        let mut ranked: Vec<(&str, u32)> =
+            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+        let tokens: Vec<String> = ranked.iter().map(|(t, _)| t.to_string()).collect();
+        let counts: Vec<u32> = ranked.iter().map(|&(_, c)| c).collect();
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        Vocab {
+            tokens,
+            counts,
+            index,
+        }
+    }
+
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    pub fn token(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    pub fn count(&self, id: u32) -> u32 {
+        self.counts[id as usize]
+    }
+
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Map a sentence to ids, silently dropping OOV tokens (the static
+    /// models' training view of the corpus).
+    pub fn encode(&self, sentence: &[String]) -> Vec<u32> {
+        sentence.iter().filter_map(|t| self.id(t)).collect()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "tokens".into(),
+                Json::Arr(
+                    self.tokens
+                        .iter()
+                        .map(|t| Json::from_str_value(t))
+                        .collect(),
+                ),
+            ),
+            (
+                "counts".into(),
+                Json::Arr(
+                    self.counts
+                        .iter()
+                        .map(|&c| Json::from_u64(c as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(json: &Json) -> Result<Vocab> {
+        let tokens: Vec<String> = json
+            .expect("tokens")?
+            .as_arr()?
+            .iter()
+            .map(|t| t.as_str().map(str::to_string))
+            .collect::<Result<_>>()?;
+        let counts: Vec<u32> = json
+            .expect("counts")?
+            .as_arr()?
+            .iter()
+            .map(|c| c.as_u64().map(|v| v as u32))
+            .collect::<Result<_>>()?;
+        if tokens.len() != counts.len() {
+            return Err(ErError::Parse(format!(
+                "vocab has {} tokens but {} counts",
+                tokens.len(),
+                counts.len()
+            )));
+        }
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        Ok(Vocab {
+            tokens,
+            counts,
+            index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus_of(lines: &[&str]) -> Corpus {
+        let mut c = Corpus::new();
+        for l in lines {
+            c.push_text(l);
+        }
+        c
+    }
+
+    #[test]
+    fn ranks_by_frequency_then_lexicographically() {
+        let c = corpus_of(&["b a b", "a b c", "b a"]);
+        let v = Vocab::build(&c, 1);
+        // b:4, a:3, c:1
+        assert_eq!(v.token(0), "b");
+        assert_eq!(v.token(1), "a");
+        assert_eq!(v.token(2), "c");
+        assert_eq!(v.count(0), 4);
+    }
+
+    #[test]
+    fn min_count_filters_rare_tokens() {
+        let c = corpus_of(&["a a b"]);
+        let v = Vocab::build(&c, 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.id("a"), Some(0));
+        assert_eq!(v.id("b"), None);
+    }
+
+    #[test]
+    fn encode_drops_oov() {
+        let c = corpus_of(&["a b"]);
+        let v = Vocab::build(&c, 1);
+        let ids = v.encode(&["a".into(), "zzz".into(), "b".into()]);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let c = corpus_of(&["x y z x"]);
+        let v = Vocab::build(&c, 1);
+        let back = Vocab::from_json(&v.to_json()).unwrap();
+        assert_eq!(v, back);
+    }
+}

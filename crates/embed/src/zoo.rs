@@ -1,0 +1,455 @@
+//! The model zoo: one entry point that pre-trains every implemented model
+//! on the deterministic synthetic corpus, with an optional JSON weight
+//! cache so repeated runs (and the benchmark suite) skip training.
+//!
+//! Determinism contract: `ModelZoo::pretrain(None, &config, seed)` is
+//! byte-identical across runs for a fixed `(config, seed)` — each model
+//! trains from its own seed-derived RNG stream, and persistence uses
+//! shortest-round-trip float formatting so save/load is bit-exact.
+
+use crate::fasttext::{FastText, FastTextParams};
+use crate::glove::{Glove, GloveParams};
+use crate::word2vec::{SgnsParams, Word2Vec};
+use crate::{LanguageModel, ModelCode, Vocab};
+use er_core::json::Json;
+use er_core::rng::rng;
+use er_core::{Embedding, ErError, Result};
+use er_text::corpus::synthetic_corpus;
+use er_text::ngram::fnv1a;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Hyper-parameters for one zoo pre-training run.
+#[derive(Debug, Clone)]
+pub struct ZooConfig {
+    /// Human-readable scale label, part of the cache key ("Fast", "Tiny").
+    pub scale: String,
+    /// Synthetic-corpus size in documents.
+    pub corpus_docs: usize,
+    /// Embedding dimension for the static models (paper ratio: 48-d static
+    /// vs 64-d transformer ≈ the paper's 300 vs 768).
+    pub dim: usize,
+    pub window: usize,
+    pub negatives: usize,
+    pub min_count: u32,
+    pub w2v_epochs: usize,
+    pub glove_epochs: usize,
+    pub ft_epochs: usize,
+    pub lr: f32,
+    pub glove_lr: f32,
+    pub x_max: f32,
+    pub alpha: f32,
+    pub nmin: usize,
+    pub nmax: usize,
+    pub buckets: usize,
+}
+
+impl ZooConfig {
+    /// The default scale: trains all three static models in seconds on one
+    /// CPU core while leaving enough corpus for meaningful geometry.
+    pub fn fast() -> ZooConfig {
+        ZooConfig {
+            scale: "Fast".into(),
+            corpus_docs: 96,
+            dim: 48,
+            window: 4,
+            negatives: 4,
+            min_count: 2,
+            w2v_epochs: 4,
+            glove_epochs: 12,
+            ft_epochs: 3,
+            lr: 0.05,
+            glove_lr: 0.05,
+            x_max: 16.0,
+            alpha: 0.75,
+            nmin: 3,
+            nmax: 5,
+            buckets: 4096,
+        }
+    }
+
+    /// A miniature scale for unit tests (debug builds train this in well
+    /// under a second).
+    pub fn tiny() -> ZooConfig {
+        ZooConfig {
+            scale: "Tiny".into(),
+            corpus_docs: 24,
+            dim: 48,
+            window: 3,
+            negatives: 3,
+            min_count: 1,
+            w2v_epochs: 2,
+            glove_epochs: 6,
+            ft_epochs: 2,
+            lr: 0.05,
+            glove_lr: 0.05,
+            x_max: 16.0,
+            alpha: 0.75,
+            nmin: 3,
+            nmax: 5,
+            buckets: 1024,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scale".into(), Json::from_str_value(&self.scale)),
+            ("corpus_docs".into(), Json::from_usize(self.corpus_docs)),
+            ("dim".into(), Json::from_usize(self.dim)),
+            ("window".into(), Json::from_usize(self.window)),
+            ("negatives".into(), Json::from_usize(self.negatives)),
+            ("min_count".into(), Json::from_u64(self.min_count as u64)),
+            ("w2v_epochs".into(), Json::from_usize(self.w2v_epochs)),
+            ("glove_epochs".into(), Json::from_usize(self.glove_epochs)),
+            ("ft_epochs".into(), Json::from_usize(self.ft_epochs)),
+            ("lr".into(), Json::from_f32(self.lr)),
+            ("glove_lr".into(), Json::from_f32(self.glove_lr)),
+            ("x_max".into(), Json::from_f32(self.x_max)),
+            ("alpha".into(), Json::from_f32(self.alpha)),
+            ("nmin".into(), Json::from_usize(self.nmin)),
+            ("nmax".into(), Json::from_usize(self.nmax)),
+            ("buckets".into(), Json::from_usize(self.buckets)),
+        ])
+    }
+
+    /// Cache-file stem: scale plus a hash of every hyper-parameter and the
+    /// seed, so stale caches can never be loaded for the wrong config.
+    pub fn cache_stem(&self, seed: u64) -> String {
+        let key = format!("{}|seed={seed}", self.to_json());
+        format!("zoo-{}-{:016x}", self.scale, fnv1a(key.as_bytes()))
+    }
+}
+
+impl Default for ZooConfig {
+    fn default() -> Self {
+        ZooConfig::fast()
+    }
+}
+
+/// A concrete model held by the zoo. (An enum rather than `dyn
+/// LanguageModel` so models can be persisted and compared exactly.)
+#[derive(Debug, Clone)]
+pub enum AnyModel {
+    Word2Vec(Word2Vec),
+    Glove(Glove),
+    FastText(FastText),
+}
+
+impl AnyModel {
+    /// Whether `token` is in the model's trained vocabulary (FastText can
+    /// still *embed* tokens for which this is false, via subword buckets).
+    pub fn knows_token(&self, token: &str) -> bool {
+        match self {
+            AnyModel::Word2Vec(m) => m.vocab().id(token).is_some(),
+            AnyModel::Glove(m) => m.vocab().id(token).is_some(),
+            AnyModel::FastText(m) => m.vocab().id(token).is_some(),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            AnyModel::Word2Vec(_) => "Word2Vec",
+            AnyModel::Glove(_) => "Glove",
+            AnyModel::FastText(_) => "FastText",
+        }
+    }
+
+    fn weights_json(&self) -> Json {
+        match self {
+            AnyModel::Word2Vec(m) => m.to_json(),
+            AnyModel::Glove(m) => m.to_json(),
+            AnyModel::FastText(m) => m.to_json(),
+        }
+    }
+
+    fn init_ns(&self) -> u64 {
+        match self {
+            AnyModel::Word2Vec(m) => m.init_ns(),
+            AnyModel::Glove(m) => m.init_ns(),
+            AnyModel::FastText(m) => m.init_ns(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("code".into(), Json::from_str_value(self.code().as_str())),
+            ("kind".into(), Json::from_str_value(self.kind())),
+            ("init_ns".into(), Json::from_u64(self.init_ns())),
+            ("model".into(), self.weights_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<AnyModel> {
+        let kind = json.expect("kind")?.as_str()?;
+        let init_ns = json.expect("init_ns")?.as_u64()?;
+        let weights = json.expect("model")?;
+        match kind {
+            "Word2Vec" => Ok(AnyModel::Word2Vec(Word2Vec::from_json(weights, init_ns)?)),
+            "Glove" => Ok(AnyModel::Glove(Glove::from_json(weights, init_ns)?)),
+            "FastText" => Ok(AnyModel::FastText(FastText::from_json(weights, init_ns)?)),
+            other => Err(ErError::Parse(format!("unknown model kind {other:?}"))),
+        }
+    }
+}
+
+impl LanguageModel for AnyModel {
+    fn code(&self) -> ModelCode {
+        match self {
+            AnyModel::Word2Vec(m) => m.code(),
+            AnyModel::Glove(m) => m.code(),
+            AnyModel::FastText(m) => m.code(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            AnyModel::Word2Vec(m) => m.dim(),
+            AnyModel::Glove(m) => m.dim(),
+            AnyModel::FastText(m) => m.dim(),
+        }
+    }
+
+    fn init_time(&self) -> Duration {
+        match self {
+            AnyModel::Word2Vec(m) => m.init_time(),
+            AnyModel::Glove(m) => m.init_time(),
+            AnyModel::FastText(m) => m.init_time(),
+        }
+    }
+
+    fn embed(&self, text: &str) -> Embedding {
+        match self {
+            AnyModel::Word2Vec(m) => m.embed(text),
+            AnyModel::Glove(m) => m.embed(text),
+            AnyModel::FastText(m) => m.embed(text),
+        }
+    }
+}
+
+/// The pre-trained roster, ordered as [`ModelCode::STATIC`].
+#[derive(Debug, Clone)]
+pub struct ModelZoo {
+    models: Vec<Arc<AnyModel>>,
+    scale: String,
+    seed: u64,
+}
+
+const ZOO_FORMAT: u64 = 1;
+
+impl ModelZoo {
+    /// Load the zoo from `cache_dir` if a cache for this exact
+    /// `(config, seed)` exists, otherwise train all models and (best-effort)
+    /// save them back. `None` always trains in memory.
+    pub fn pretrain(cache_dir: Option<&Path>, config: &ZooConfig, seed: u64) -> ModelZoo {
+        if let Some(dir) = cache_dir {
+            let path = dir.join(format!("{}.json", config.cache_stem(seed)));
+            if path.is_file() {
+                match std::fs::read_to_string(&path)
+                    .map_err(ErError::from)
+                    .and_then(|text| ModelZoo::from_json_str(&text))
+                {
+                    Ok(zoo) => return zoo,
+                    Err(e) => eprintln!(
+                        "warning: ignoring unreadable zoo cache {}: {e}",
+                        path.display()
+                    ),
+                }
+            }
+            let zoo = ModelZoo::train_all(config, seed);
+            if let Err(e) = zoo.save(&path) {
+                eprintln!("warning: could not save zoo cache {}: {e}", path.display());
+            }
+            zoo
+        } else {
+            ModelZoo::train_all(config, seed)
+        }
+    }
+
+    /// Train every implemented model on the synthetic corpus. Sequential by
+    /// design: the evaluation machine exposes a single core (DESIGN.md §1).
+    pub fn train_all(config: &ZooConfig, seed: u64) -> ModelZoo {
+        let corpus = synthetic_corpus(config.corpus_docs, &mut rng(seed));
+        let vocab = Vocab::build(&corpus, config.min_count);
+        assert!(!vocab.is_empty(), "zoo corpus produced an empty vocabulary");
+
+        let w2v = Word2Vec::train(
+            &corpus,
+            vocab.clone(),
+            &SgnsParams {
+                dim: config.dim,
+                window: config.window,
+                negatives: config.negatives,
+                epochs: config.w2v_epochs,
+                lr: config.lr,
+            },
+            seed,
+        );
+        let glove = Glove::train(
+            &corpus,
+            vocab.clone(),
+            &GloveParams {
+                dim: config.dim,
+                window: config.window,
+                epochs: config.glove_epochs,
+                lr: config.glove_lr,
+                x_max: config.x_max,
+                alpha: config.alpha,
+            },
+            seed,
+        );
+        let ft = FastText::train(
+            &corpus,
+            vocab,
+            &FastTextParams {
+                sgns: SgnsParams {
+                    dim: config.dim,
+                    window: config.window,
+                    negatives: config.negatives,
+                    epochs: config.ft_epochs,
+                    lr: config.lr,
+                },
+                nmin: config.nmin,
+                nmax: config.nmax,
+                buckets: config.buckets,
+            },
+            seed,
+        );
+
+        ModelZoo {
+            models: vec![
+                Arc::new(AnyModel::Word2Vec(w2v)),
+                Arc::new(AnyModel::Glove(glove)),
+                Arc::new(AnyModel::FastText(ft)),
+            ],
+            scale: config.scale.clone(),
+            seed,
+        }
+    }
+
+    pub fn try_get(&self, code: ModelCode) -> Option<&Arc<AnyModel>> {
+        self.models.iter().find(|m| m.code() == code)
+    }
+
+    /// Fetch a model, panicking with a roster listing if it is not (yet)
+    /// implemented — the dynamic models arrive in later PRs.
+    pub fn get(&self, code: ModelCode) -> &Arc<AnyModel> {
+        self.try_get(code).unwrap_or_else(|| {
+            panic!(
+                "model {code} ({}) is not in the zoo; available: {:?}",
+                code.full_name(),
+                self.codes()
+            )
+        })
+    }
+
+    pub fn models(&self) -> &[Arc<AnyModel>] {
+        &self.models
+    }
+
+    pub fn codes(&self) -> Vec<ModelCode> {
+        self.models.iter().map(|m| m.code()).collect()
+    }
+
+    pub fn scale(&self) -> &str {
+        &self.scale
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// FNV-1a over every model's weight payload (timings excluded), for
+    /// cheap bit-identity assertions across runs and round-trips.
+    pub fn fingerprint(&self) -> u64 {
+        let weights = Json::Arr(self.models.iter().map(|m| m.weights_json()).collect());
+        fnv1a(weights.to_string().as_bytes())
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), Json::from_u64(ZOO_FORMAT)),
+            ("scale".into(), Json::from_str_value(&self.scale)),
+            ("seed".into(), Json::from_u64(self.seed)),
+            (
+                "models".into(),
+                Json::Arr(self.models.iter().map(|m| m.to_json()).collect()),
+            ),
+        ])
+    }
+
+    pub fn from_json_str(text: &str) -> Result<ModelZoo> {
+        let json = Json::parse(text)?;
+        let format = json.expect("format")?.as_u64()?;
+        if format != ZOO_FORMAT {
+            return Err(ErError::Parse(format!(
+                "zoo cache format {format} unsupported (expected {ZOO_FORMAT})"
+            )));
+        }
+        let scale = json.expect("scale")?.as_str()?.to_string();
+        let seed = json.expect("seed")?.as_u64()?;
+        let models = json
+            .expect("models")?
+            .as_arr()?
+            .iter()
+            .map(|m| AnyModel::from_json(m).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        if models.is_empty() {
+            return Err(ErError::Parse("zoo cache holds no models".into()));
+        }
+        Ok(ModelZoo {
+            models,
+            scale,
+            seed,
+        })
+    }
+
+    pub fn save(&self, path: &Path) -> Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json().to_string())?;
+        Ok(())
+    }
+
+    pub fn load(path: &Path) -> Result<ModelZoo> {
+        ModelZoo::from_json_str(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_zoo_trains_all_static_models() {
+        let zoo = ModelZoo::train_all(&ZooConfig::tiny(), 42);
+        assert_eq!(
+            zoo.codes(),
+            vec![ModelCode::WC, ModelCode::GE, ModelCode::FT]
+        );
+        for m in zoo.models() {
+            assert_eq!(m.dim(), 48);
+            let e = m.embed("restaurant downtown");
+            assert_eq!(e.dim(), 48);
+            assert!(e.is_finite());
+        }
+        assert!(zoo.try_get(ModelCode::BT).is_none());
+    }
+
+    #[test]
+    fn cache_stem_depends_on_config_and_seed() {
+        let fast = ZooConfig::fast();
+        let tiny = ZooConfig::tiny();
+        assert_ne!(fast.cache_stem(1), fast.cache_stem(2));
+        assert_ne!(fast.cache_stem(1), tiny.cache_stem(1));
+        assert!(fast.cache_stem(42).starts_with("zoo-Fast-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the zoo")]
+    fn get_panics_helpfully_for_future_models() {
+        let zoo = ModelZoo::train_all(&ZooConfig::tiny(), 1);
+        let _ = zoo.get(ModelCode::S5);
+    }
+}

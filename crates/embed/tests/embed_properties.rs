@@ -1,0 +1,44 @@
+//! Property tests: every model's `embed()` output has length `dim()` and is
+//! free of NaN/Inf for arbitrary input strings, including empty and
+//! all-punctuation text (which must mean-pool to the zero vector, not
+//! divide by zero).
+
+use er_embed::{LanguageModel, ModelZoo, ZooConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn zoo() -> &'static ModelZoo {
+    static ZOO: OnceLock<ModelZoo> = OnceLock::new();
+    ZOO.get_or_init(|| ModelZoo::pretrain(None, &ZooConfig::tiny(), 42))
+}
+
+proptest! {
+    fn embed_has_model_dim_and_is_finite(s in any_string(48)) {
+        for model in zoo().models() {
+            let e = model.embed(&s);
+            assert_eq!(
+                e.dim(),
+                model.dim(),
+                "{} produced wrong dimension for {s:?}",
+                model.code()
+            );
+            assert!(
+                e.is_finite(),
+                "{} produced NaN/Inf for {s:?}",
+                model.code()
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_embed_to_zero_not_nan() {
+    for model in zoo().models() {
+        for s in ["", "   ", ".,;:!?", "!!!???...", "\t\n"] {
+            let e = model.embed(s);
+            assert_eq!(e.dim(), model.dim());
+            assert!(e.is_finite(), "{} on {s:?}", model.code());
+            assert_eq!(e.norm(), 0.0, "{} should zero-embed {s:?}", model.code());
+        }
+    }
+}

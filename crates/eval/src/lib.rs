@@ -1,0 +1,83 @@
+//! er-eval — evaluation machinery (DESIGN.md inventory row 25: PC /
+//! precision / F1, Pearson, rankings, discriminativeness histograms,
+//! timers, report writers).
+//!
+//! This PR ships the core [`Metrics`] triple every experiment reports;
+//! statistics and report writers land with the experiment-binary PR.
+
+use er_core::{GroundTruth, ScoredPair};
+
+/// Precision / recall (the paper's "pairs completeness" for blocking) / F1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// From raw counts. Degenerate denominators score 0, not NaN.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Metrics {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Metrics {
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// Score a predicted pair set against the ground truth.
+    pub fn of_pairs(predicted: &[ScoredPair], gt: &GroundTruth) -> Metrics {
+        let tp = predicted
+            .iter()
+            .filter(|p| gt.contains(p.left, p.right))
+            .count();
+        let fp = predicted.len() - tp;
+        let fn_ = gt.len().saturating_sub(tp);
+        Metrics::from_counts(tp, fp, fn_)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::EntityId;
+
+    #[test]
+    fn counts_map_to_the_usual_formulas() {
+        let m = Metrics::from_counts(8, 2, 8);
+        assert!((m.precision - 0.8).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 2.0 * 0.8 * 0.5 / 1.3).abs() < 1e-12);
+        let zero = Metrics::from_counts(0, 0, 0);
+        assert_eq!(zero, Metrics::from_counts(0, 5, 5));
+        assert_eq!(zero.f1, 0.0);
+    }
+
+    #[test]
+    fn scores_pairs_against_ground_truth() {
+        let gt = GroundTruth::clean_clean((0..4).map(|i| (EntityId(i), EntityId(i))));
+        let predicted = vec![
+            ScoredPair::new(EntityId(0), EntityId(0), 0.9),
+            ScoredPair::new(EntityId(1), EntityId(1), 0.8),
+            ScoredPair::new(EntityId(2), EntityId(3), 0.7),
+        ];
+        let m = Metrics::of_pairs(&predicted, &gt);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Exact k-NN by brute-force scan with a bounded max-heap — the ground
+//! truth every approximate index is measured against.
+
+use crate::NnIndex;
+use er_core::Embedding;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered by distance (max-heap keeps the worst of the
+/// current top-k on top, ready for eviction).
+struct Hit {
+    dist: f32,
+    idx: usize,
+}
+
+impl PartialEq for Hit {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Hit {}
+
+impl PartialOrd for Hit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Hit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.idx.cmp(&other.idx))
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ExactIndex {
+    vectors: Vec<Embedding>,
+}
+
+impl ExactIndex {
+    pub fn build(vectors: &[Embedding]) -> ExactIndex {
+        ExactIndex {
+            vectors: vectors.to_vec(),
+        }
+    }
+}
+
+fn sq_euclid(a: &Embedding, b: &Embedding) -> f32 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+impl NnIndex for ExactIndex {
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<Hit> = BinaryHeap::with_capacity(k + 1);
+        for (idx, v) in self.vectors.iter().enumerate() {
+            let dist = sq_euclid(query, v);
+            if heap.len() < k {
+                heap.push(Hit { dist, idx });
+            } else if dist < heap.peek().expect("non-empty").dist {
+                heap.pop();
+                heap.push(Hit { dist, idx });
+            }
+        }
+        let mut hits: Vec<(usize, f32)> = heap.into_iter().map(|h| (h.idx, h.dist)).collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<Embedding> {
+        vec![
+            Embedding(vec![0.0, 0.0]),
+            Embedding(vec![1.0, 0.0]),
+            Embedding(vec![0.0, 3.0]),
+            Embedding(vec![5.0, 5.0]),
+        ]
+    }
+
+    #[test]
+    fn returns_nearest_first() {
+        let index = ExactIndex::build(&points());
+        let hits = index.search(&Embedding(vec![0.9, 0.1]), 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 1, "closest point is (1,0)");
+        assert_eq!(hits[1].0, 0);
+        assert!(hits[0].1 <= hits[1].1);
+    }
+
+    #[test]
+    fn k_larger_than_corpus_returns_everything() {
+        let index = ExactIndex::build(&points());
+        assert_eq!(index.search(&Embedding(vec![0.0, 0.0]), 10).len(), 4);
+        assert_eq!(index.len(), 4);
+        assert!(index.search(&Embedding(vec![0.0, 0.0]), 0).is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! er-index — nearest-neighbour search (DESIGN.md inventory rows 9–11b).
+//!
+//! This PR ships the [`NnIndex`] trait and the exact brute-force scan
+//! (row 9, "Blocking on Clean-Clean data"); HNSW (row 10), LSH (row 11)
+//! and IVF-Flat (row 11b) arrive with the blocking PR behind the same
+//! trait, matching the `bench_indexing` contract.
+
+pub mod exact;
+
+pub use exact::ExactIndex;
+
+use er_core::Embedding;
+
+/// A nearest-neighbour index over a fixed set of embeddings. `search`
+/// returns up to `k` `(vector index, squared Euclidean distance)` hits,
+/// nearest first.
+pub trait NnIndex {
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)>;
+}

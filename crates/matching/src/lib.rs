@@ -1,0 +1,9 @@
+//! er-matching — matching algorithms (DESIGN.md inventory rows 15–21:
+//! Unique Mapping Clustering + threshold sweep, the clustering family,
+//! ZeroER, the supervised matchers, and the string-similarity library).
+//!
+//! This PR ships the first similarity features (row 21, ZeroER's inputs);
+//! UMC, the threshold sweep and the matchers land with the matching PR,
+//! following the `bench_matching` contract.
+
+pub mod similarity;

@@ -1,0 +1,74 @@
+//! String similarities used as ZeroER features and matching baselines.
+//! All functions return values in `[0, 1]`, higher = more similar.
+
+use er_text::tokenize;
+use std::collections::BTreeSet;
+
+/// Token-set Jaccard similarity over normalized word tokens.
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let sa: BTreeSet<String> = tokenize(a).into_iter().collect();
+    let sb: BTreeSet<String> = tokenize(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Levenshtein distance normalized into a similarity:
+/// `1 - dist / max_len`. Computed over chars with a two-row DP.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let max_len = av.len().max(bv.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    let mut prev: Vec<usize> = (0..=bv.len()).collect();
+    let mut curr = vec![0usize; bv.len() + 1];
+    for (i, &ca) in av.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in bv.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    1.0 - prev[bv.len()] as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_counts_shared_tokens() {
+        assert_eq!(jaccard("golden palace grill", "golden palace grill"), 1.0);
+        // {golden, palace} over {golden, palace, grill, diner}
+        assert!((jaccard("golden palace grill", "golden palace diner") - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard("", ""), 1.0);
+        assert_eq!(jaccard("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn levenshtein_counts_edits() {
+        assert_eq!(levenshtein_sim("kitten", "kitten"), 1.0);
+        // kitten -> sitting: 3 edits over max len 7
+        assert!((levenshtein_sim("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("ab", ""), 0.0);
+    }
+
+    #[test]
+    fn typo_keeps_high_levenshtein_but_kills_jaccard() {
+        // The contrast ZeroER's mixed feature set exists for.
+        let a = "springfield";
+        let b = "springfeild";
+        assert!(levenshtein_sim(a, b) > 0.8);
+        assert_eq!(jaccard(a, b), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! er-tensor — tensor + reverse-mode autograd engine (DESIGN.md inventory
+//! row 1: "Substrate for all neural models").
+//!
+//! This PR ships the dense 2-D [`Tensor`] storage and the matmul kernels
+//! the transformer encoder will build on; the autograd `Graph`, activation
+//! kernels and optimizers land with the transformer PR.
+
+pub mod tensor;
+
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod tests {
+    use super::tensor::{matmul, matmul_nt, Tensor};
+    use er_core::rng::rng;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Tensor::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nt_is_a_times_b_transposed() {
+        let mut r = rng(3);
+        let a = Tensor::randn(3, 4, &mut r);
+        let b = Tensor::randn(5, 4, &mut r);
+        let direct = matmul_nt(&a, &b);
+        let via_transpose = matmul(&a, &b.transposed());
+        assert_eq!(direct.data(), via_transpose.data());
+        assert_eq!((direct.rows(), direct.cols()), (3, 5));
+    }
+}

@@ -1,0 +1,116 @@
+//! Dense row-major 2-D tensors and the matrix kernels used everywhere.
+
+use rand::Rng;
+
+/// A dense `rows x cols` matrix of `f32`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_rows(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Approximately standard-normal init (mean of 12 uniforms, shifted),
+    /// deterministic for a fixed RNG stream.
+    pub fn randn(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|_| {
+                let s: f32 = (0..12).map(|_| rng.gen_range(0.0f32..1.0)).sum();
+                s - 6.0
+            })
+            .collect();
+        Tensor { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+/// `a (m x k) * b (k x n)`, with the k-loop innermost-but-one so rows of
+/// `b` stream sequentially through cache.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols, b.rows, "matmul shape mismatch");
+    let mut out = Tensor::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for kk in 0..a.cols {
+            let aik = a.data[i * a.cols + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b.data[kk * b.cols..(kk + 1) * b.cols];
+            let orow = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `a (m x k) * bᵀ` for `b (n x k)` — the attention-score shape, computed
+/// without materializing the transpose.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols, b.cols, "matmul_nt shape mismatch");
+    let mut out = Tensor::zeros(a.rows, b.rows);
+    for i in 0..a.rows {
+        let arow = a.row(i);
+        for j in 0..b.rows {
+            let dot: f32 = arow.iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+            out.set(i, j, dot);
+        }
+    }
+    out
+}

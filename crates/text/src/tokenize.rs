@@ -1,0 +1,32 @@
+//! Whitespace + punctuation word tokenizer (shared by all static models
+//! and the mean-pooling sentence embedder).
+
+use crate::normalize::normalize;
+
+/// Tokenize into normalized lowercase words.
+pub fn tokenize(text: &str) -> Vec<String> {
+    normalize(text)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("Sony DSC-W55 (7.2MP)"),
+            vec!["sony", "dsc", "w55", "7", "2mp"]
+        );
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_inputs_yield_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize(" .,;:!? ").is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: pre-train the static model zoo, embed a pair of dirty
+//! duplicates with each model and print the cosine similarities — the
+//! FastText-vs-GloVe typo contrast of the paper's Fig. 3 in miniature.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use embeddings4er::prelude::*;
+
+fn main() {
+    let zoo = ModelZoo::pretrain(None, &ZooConfig::fast(), 42);
+    println!(
+        "pre-trained {} static models at scale {:?} (seed {})",
+        zoo.models().len(),
+        zoo.scale(),
+        zoo.seed()
+    );
+
+    let sentence = "golden palace grill 123 main street springfield";
+    let sentence_typod = "goldn palace gril 123 main street springfeild";
+    let word = "restaurant";
+    let word_typod = "restaurnat";
+
+    println!("\n  model        dim   init      cos(sentence, typo'd)  cos(word, typo'd)");
+    for model in zoo.models() {
+        let sent_cos = model.embed(sentence).cosine(&model.embed(sentence_typod));
+        let word_cos = model.embed(word).cosine(&model.embed(word_typod));
+        println!(
+            "  {} {:<11} {:>3}  {:>8.1?}   {:.4}                 {:.4}",
+            model.code(),
+            format!("({})", model.code().full_name()),
+            model.dim(),
+            model.init_time(),
+            sent_cos,
+            word_cos
+        );
+    }
+    println!("\nFastText embeds the typo'd word via its char-n-gram buckets;");
+    println!("Word2Vec and GloVe drop every OOV token on the floor (cosine 0).");
+}

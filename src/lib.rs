@@ -1,0 +1,89 @@
+//! embeddings4er — end-to-end entity resolution with pre-trained-style
+//! embeddings, reproducing "Pre-trained Embeddings for Entity Resolution:
+//! An Experimental Analysis" (VLDB 2023). See DESIGN.md for the full
+//! system inventory and ROADMAP.md for what has landed.
+//!
+//! The facade re-exports every subsystem crate and offers a [`prelude`]
+//! plus the first stage of the paper's Figure 1 pipeline: vectorization
+//! ([`vectorize`]) over a pre-trained [`ModelZoo`].
+//!
+//! ```
+//! use embeddings4er::prelude::*;
+//!
+//! let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), 42);
+//! let model = zoo.get(ModelCode::FT);
+//! let e = model.embed("golden palace grill 123 main street");
+//! assert_eq!(e.dim(), model.dim());
+//! ```
+
+pub use er_blocking as blocking;
+pub use er_core as core;
+pub use er_datasets as datasets;
+pub use er_embed as embed;
+pub use er_eval as eval;
+pub use er_index as index;
+pub use er_matching as matching;
+pub use er_tensor as tensor;
+pub use er_text as text;
+
+use er_core::{Embedding, Entity, SerializationMode};
+use er_embed::LanguageModel;
+
+/// Everything needed to drive the pipeline end to end.
+pub mod prelude {
+    pub use er_core::rng::rng;
+    pub use er_core::{
+        Embedding, Entity, EntityId, ErError, GroundTruth, Result, ScoredPair, SerializationMode,
+    };
+    pub use er_embed::{AnyModel, LanguageModel, ModelCode, ModelZoo, ZooConfig};
+    pub use er_eval::Metrics;
+    pub use er_index::{ExactIndex, NnIndex};
+    pub use er_text::corpus::synthetic_corpus;
+    pub use er_text::{normalize, tokenize, Corpus};
+
+    pub use crate::vectorize;
+}
+
+pub use er_embed::{ModelCode, ModelZoo, ZooConfig};
+
+/// Figure 1, stage 1: serialize each entity under `mode` and embed it with
+/// `model`. Output order matches input order.
+pub fn vectorize(
+    model: &dyn LanguageModel,
+    entities: &[Entity],
+    mode: &SerializationMode,
+) -> Vec<Embedding> {
+    entities
+        .iter()
+        .map(|e| model.embed(&e.serialize(mode)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn vectorize_embeds_every_entity() {
+        let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), 42);
+        let model = zoo.get(ModelCode::WC);
+        let entities = vec![
+            Entity::new(
+                EntityId(0),
+                vec![
+                    ("name".into(), "golden palace".into()),
+                    ("city".into(), "springfield".into()),
+                ],
+            ),
+            Entity::new(EntityId(1), vec![("name".into(), "".into())]),
+        ];
+        let vecs = vectorize(
+            model.as_ref(),
+            &entities,
+            &SerializationMode::SchemaAgnostic,
+        );
+        assert_eq!(vecs.len(), 2);
+        assert_eq!(vecs[0].dim(), model.dim());
+        assert!(vecs.iter().all(Embedding::is_finite));
+    }
+}

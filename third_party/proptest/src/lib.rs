@@ -1,0 +1,206 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! minimal property-testing machinery the workspace needs: a [`proptest!`]
+//! macro with the upstream `fn name(arg in strategy) { .. }` shape, a
+//! [`Strategy`] trait, and strategies for numeric ranges and arbitrary
+//! strings. Differences from upstream, by design:
+//!
+//! * cases are generated from a fixed seed (deterministic CI; override the
+//!   count with `PROPTEST_CASES`);
+//! * string strategies emit a curated list of edge cases (empty, whitespace,
+//!   punctuation-only, unicode) before random cases;
+//! * no shrinking — failures report the offending input via normal
+//!   `assert!` panics, which is enough at this input size.
+
+use rand::prelude::*;
+
+/// Default number of cases per property (upstream default is 256; these
+/// properties run against real model training fixtures, so keep it tighter).
+pub const DEFAULT_CASES: usize = 64;
+
+/// Drives one property: a seeded RNG plus the current case index.
+pub struct TestRunner {
+    rng: StdRng,
+    case: usize,
+}
+
+impl TestRunner {
+    pub fn new(name: &str) -> Self {
+        // Stable per-test seed so failures reproduce run-to-run.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+            case: 0,
+        }
+    }
+
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+    }
+
+    pub fn next_case(&mut self) {
+        self.case += 1;
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Produces one value per test case.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn new_value(&self, runner: &mut TestRunner) -> f32 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+/// Edge cases every string strategy emits before random generation.
+const STRING_EDGE_CASES: &[&str] = &[
+    "",
+    " ",
+    "   \t\n  ",
+    ".,;:!?-_()[]{}",
+    "!!!???...",
+    "\"quoted\" \\back\\slash",
+    "ÆØÅ æøå ü ß é ñ",
+    "日本語 住所 名前",
+    "🦀🚀",
+    "a",
+    "1234567890",
+    "MiXeD CaSe ToKeNs 42",
+];
+
+/// Arbitrary strings: curated edge cases first, then random mixtures of
+/// letters, digits, punctuation, whitespace and non-ASCII characters.
+pub struct AnyString {
+    max_len: usize,
+}
+
+pub fn any_string(max_len: usize) -> AnyString {
+    AnyString { max_len }
+}
+
+impl Strategy for AnyString {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        if runner.case < STRING_EDGE_CASES.len() {
+            return STRING_EDGE_CASES[runner.case].to_string();
+        }
+        let rng = runner.rng();
+        let len = rng.gen_range(0..=self.max_len);
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.gen_range(0..10u32) {
+                0..=3 => rng.gen_range(b'a'..=b'z') as char,
+                4 => rng.gen_range(b'A'..=b'Z') as char,
+                5 => rng.gen_range(b'0'..=b'9') as char,
+                6 => *[' ', ' ', '\t'].choose(rng).expect("non-empty"),
+                7 => *['.', ',', '-', '_', '!', '?', '\'', '"', '/']
+                    .choose(rng)
+                    .expect("non-empty"),
+                8 => *['é', 'ü', 'ß', 'ø', 'ñ', 'ç']
+                    .choose(rng)
+                    .expect("non-empty"),
+                _ => *['中', 'の', 'ع', 'д', '🦀'].choose(rng).expect("non-empty"),
+            };
+            s.push(c);
+        }
+        s
+    }
+}
+
+/// Upstream-shaped macro: expands each `fn name(arg in strategy, ..) { .. }`
+/// into a `#[test]` running [`TestRunner::cases`] cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new(stringify!($name));
+            for _ in 0..$crate::TestRunner::cases() {
+                $(let $arg = $crate::Strategy::new_value(&$strat, &mut runner);)+
+                $body
+                runner.next_case();
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{any_string, proptest, AnyString, Strategy, TestRunner};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        fn ranges_stay_in_bounds(n in 0..100usize, x in -1.0f32..1.0) {
+            assert!(n < 100);
+            assert!((-1.0..1.0).contains(&x));
+        }
+
+        fn strings_respect_max_len(s in any_string(16)) {
+            assert!(s.chars().count() <= 32, "edge cases are short, random capped");
+        }
+    }
+
+    #[test]
+    fn edge_cases_come_first() {
+        let mut runner = TestRunner::new("edge");
+        let s = any_string(8).new_value(&mut runner);
+        assert_eq!(s, "");
+        runner.next_case();
+        let s = any_string(8).new_value(&mut runner);
+        assert_eq!(s, " ");
+    }
+}
