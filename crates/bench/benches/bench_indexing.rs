@@ -7,7 +7,7 @@ use er_core::rng::rng;
 use er_core::Embedding;
 use er_index::exact::ExactIndex;
 use er_index::hnsw::{HnswConfig, HnswIndex};
-use er_index::lsh::HyperplaneLsh;
+use er_index::lsh::{HyperplaneLsh, LshConfig};
 use er_index::NnIndex;
 use rand::Rng;
 use std::hint::black_box;
@@ -20,7 +20,7 @@ fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Embedding> {
 }
 
 fn bench_build(c: &mut Criterion) {
-    let vectors = random_vectors(2_000, 64, 3);
+    let vectors = random_vectors(800, 64, 3);
     let mut group = c.benchmark_group("fig13_index_build");
     group.sample_size(10);
     group.bench_function("exact", |b| {
@@ -30,17 +30,17 @@ fn bench_build(c: &mut Criterion) {
         b.iter(|| black_box(HnswIndex::build(&vectors, HnswConfig::default())));
     });
     group.bench_function("hyperplane_lsh", |b| {
-        b.iter(|| black_box(HyperplaneLsh::build(&vectors, 8, 12, 3)));
+        b.iter(|| black_box(HyperplaneLsh::build(&vectors, LshConfig::default())));
     });
     group.finish();
 }
 
 fn bench_query(c: &mut Criterion) {
-    let vectors = random_vectors(5_000, 64, 4);
+    let vectors = random_vectors(1_200, 64, 4);
     let queries = random_vectors(16, 64, 5);
     let exact = ExactIndex::build(&vectors);
     let hnsw = HnswIndex::build(&vectors, HnswConfig::default());
-    let lsh = HyperplaneLsh::build(&vectors, 8, 12, 3);
+    let lsh = HyperplaneLsh::build(&vectors, LshConfig::default());
 
     let mut group = c.benchmark_group("fig12_index_query_k10");
     group.bench_function("exact", |b| {
@@ -67,20 +67,36 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sequential vs scoped-thread batched search over the same HNSW graph:
+/// the blocker's query path (one query per left-side entity).
+fn bench_batched_search(c: &mut Criterion) {
+    let vectors = random_vectors(1_200, 64, 10);
+    let queries = random_vectors(128, 64, 11);
+    let index = HnswIndex::build(&vectors, HnswConfig::default());
+    let mut group = c.benchmark_group("hnsw_batch_vs_sequential_128q");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(index.search(q, 10));
+            }
+        });
+    });
+    group.bench_function("search_batch", |b| {
+        b.iter(|| black_box(index.search_batch(&queries, 10)));
+    });
+    group.finish();
+}
+
 /// HNSW ablation: recall/latency as efSearch grows (the FAISS
-/// configuration choice of §4.3).
+/// configuration choice of §4.3). One graph, query-time knob only.
 fn bench_hnsw_ablation(c: &mut Criterion) {
-    let vectors = random_vectors(5_000, 64, 6);
+    let vectors = random_vectors(1_200, 64, 6);
     let queries = random_vectors(16, 64, 7);
+    let mut index = HnswIndex::build(&vectors, HnswConfig::default());
     let mut group = c.benchmark_group("hnsw_ablation_ef_search");
     for ef in [16usize, 64, 256] {
-        let index = HnswIndex::build(
-            &vectors,
-            HnswConfig {
-                ef_search: ef,
-                ..Default::default()
-            },
-        );
+        index = index.with_ef_search(ef);
+        let index = &index;
         group.bench_with_input(BenchmarkId::from_parameter(ef), &ef, |b, _| {
             b.iter(|| {
                 for q in &queries {
@@ -96,7 +112,7 @@ fn bench_hnsw_ablation(c: &mut Criterion) {
 fn bench_dimension_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dimension_ablation_exact_query");
     for dim in [32usize, 64, 128, 256] {
-        let vectors = random_vectors(2_000, dim, 8);
+        let vectors = random_vectors(1_500, dim, 8);
         let queries = random_vectors(16, dim, 9);
         let index = ExactIndex::build(&vectors);
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
@@ -114,6 +130,7 @@ criterion_group!(
     benches,
     bench_build,
     bench_query,
+    bench_batched_search,
     bench_hnsw_ablation,
     bench_dimension_ablation
 );

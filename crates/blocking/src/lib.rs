@@ -2,9 +2,14 @@
 //! blocker + candidate-set machinery, DeepBlocker-style Auto-Encoder
 //! blocker, token-overlap blocking).
 //!
-//! This PR ships the candidate-set machinery (row 12's redundant-pair
-//! dedup); the blockers themselves land with the blocking PR on top of
-//! `er-index`.
+//! Ships row 12 complete: the embedding [`top_k_blocking`] pipeline over
+//! the `er-index` backends (exact / HNSW / LSH) plus the redundant-pair
+//! dedup. The DeepBlocker-style Auto-Encoder (row 13) and token-overlap
+//! blocking (row 14) land with the matching-SotA PR.
+
+pub mod topk;
+
+pub use topk::{top_k_blocking, BlockerBackend, TopKConfig};
 
 use er_core::EntityId;
 
@@ -51,6 +56,49 @@ mod tests {
         assert_eq!(
             deduped,
             vec![(EntityId(1), EntityId(2)), (EntityId(1), EntityId(4))]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(dedup_candidates(Vec::new(), true).is_empty());
+        assert!(dedup_candidates(Vec::new(), false).is_empty());
+    }
+
+    #[test]
+    fn all_self_pairs_vanish_in_dirty_mode_but_survive_clean() {
+        let raw: Vec<_> = (0..5).map(|i| (EntityId(i), EntityId(i))).collect();
+        assert!(
+            dedup_candidates(raw.clone(), true).is_empty(),
+            "a Dirty-ER record cannot be its own duplicate"
+        );
+        // Clean-Clean ids live in separate namespaces: (i, i) is a real
+        // cross-collection pair and must be kept (once).
+        let doubled: Vec<_> = raw.iter().chain(raw.iter()).copied().collect();
+        assert_eq!(dedup_candidates(doubled, false), raw);
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique_in_both_modes() {
+        let raw = vec![
+            (EntityId(9), EntityId(1)),
+            (EntityId(0), EntityId(3)),
+            (EntityId(9), EntityId(1)),
+            (EntityId(1), EntityId(9)),
+        ];
+        let dirty = dedup_candidates(raw.clone(), true);
+        assert_eq!(
+            dirty,
+            vec![(EntityId(0), EntityId(3)), (EntityId(1), EntityId(9))]
+        );
+        let clean = dedup_candidates(raw, false);
+        assert_eq!(
+            clean,
+            vec![
+                (EntityId(0), EntityId(3)),
+                (EntityId(1), EntityId(9)),
+                (EntityId(9), EntityId(1)),
+            ]
         );
     }
 

@@ -1,0 +1,247 @@
+//! The embedding top-k blocker (DESIGN.md inventory row 12): index one
+//! side of a Clean-Clean dataset, query the other with each entity's
+//! embedding, and keep every `(query, neighbour)` pair as a candidate —
+//! the paper's Fig. 3 blocking recipe (DeepER lineage, §4.3).
+//!
+//! Candidate retrieval uses [`NnIndex::search_batch`], so blocking a whole
+//! collection fans out over a scoped-thread worker pool while staying
+//! bit-identical to sequential search.
+
+use crate::dedup_candidates;
+use er_core::{Embedding, EntityId};
+use er_index::{ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex};
+
+/// Which index serves the k-NN queries.
+#[derive(Debug, Clone)]
+pub enum BlockerBackend {
+    /// Brute-force scan under the given metric — exact, O(|left|·|right|).
+    Exact(Metric),
+    /// HNSW graph (the scalable default; seed/metric live in the config).
+    Hnsw(HnswConfig),
+    /// Hyperplane LSH with multi-table probing.
+    Lsh(LshConfig),
+}
+
+/// Top-k blocking configuration.
+#[derive(Debug, Clone)]
+pub struct TopKConfig {
+    /// Neighbours kept per query entity (the paper sweeps k ∈ {1, 5, 10}).
+    pub k: usize,
+    pub backend: BlockerBackend,
+    /// Dirty ER: both sides are the same collection, so pairs are
+    /// order-normalized and self-pairs dropped (see [`dedup_candidates`]).
+    pub dirty: bool,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig {
+            k: 10,
+            // Cosine over raw embeddings is the paper's blocking setting.
+            backend: BlockerBackend::Hnsw(HnswConfig {
+                metric: Metric::Cosine,
+                ..HnswConfig::default()
+            }),
+            dirty: false,
+        }
+    }
+}
+
+/// Run top-k blocking: index `right`, query every `left` embedding, and
+/// return the deduplicated candidate pairs `(left id, right id)`.
+///
+/// For Dirty ER pass the same collection as both sides with
+/// `config.dirty = true`; self-matches are removed by the dedup pass.
+pub fn top_k_blocking(
+    left_ids: &[EntityId],
+    left_vectors: &[Embedding],
+    right_ids: &[EntityId],
+    right_vectors: &[Embedding],
+    config: &TopKConfig,
+) -> Vec<(EntityId, EntityId)> {
+    assert_eq!(
+        left_ids.len(),
+        left_vectors.len(),
+        "left ids/vectors differ"
+    );
+    assert_eq!(
+        right_ids.len(),
+        right_vectors.len(),
+        "right ids/vectors differ"
+    );
+    if left_ids.is_empty() || right_ids.is_empty() || config.k == 0 {
+        return Vec::new();
+    }
+    match &config.backend {
+        BlockerBackend::Exact(metric) => query_all(
+            &ExactIndex::with_metric(right_vectors, *metric),
+            left_ids,
+            left_vectors,
+            right_ids,
+            config,
+        ),
+        BlockerBackend::Hnsw(hnsw) => query_all(
+            &HnswIndex::build(right_vectors, hnsw.clone()),
+            left_ids,
+            left_vectors,
+            right_ids,
+            config,
+        ),
+        BlockerBackend::Lsh(lsh) => query_all(
+            &HyperplaneLsh::build(right_vectors, lsh.clone()),
+            left_ids,
+            left_vectors,
+            right_ids,
+            config,
+        ),
+    }
+}
+
+fn query_all<I: NnIndex + Sync>(
+    index: &I,
+    left_ids: &[EntityId],
+    left_vectors: &[Embedding],
+    right_ids: &[EntityId],
+    config: &TopKConfig,
+) -> Vec<(EntityId, EntityId)> {
+    let hits = index.search_batch(left_vectors, config.k);
+    let pairs = hits.into_iter().enumerate().flat_map(|(i, neighbours)| {
+        neighbours
+            .into_iter()
+            .map(move |(j, _)| (left_ids[i], right_ids[j]))
+    });
+    dedup_candidates(pairs, config.dirty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<EntityId> {
+        (0..n).map(EntityId).collect()
+    }
+
+    /// Two tight clusters far apart: blocking must pair within clusters.
+    fn clustered() -> (Vec<Embedding>, Vec<Embedding>) {
+        let left = vec![
+            Embedding(vec![0.0, 1.0]),
+            Embedding(vec![0.1, 1.0]),
+            Embedding(vec![10.0, 0.0]),
+        ];
+        let right = vec![
+            Embedding(vec![0.05, 1.0]),
+            Embedding(vec![10.1, 0.1]),
+            Embedding(vec![9.9, 0.0]),
+        ];
+        (left, right)
+    }
+
+    #[test]
+    fn exact_backend_pairs_within_clusters() {
+        let (left, right) = clustered();
+        let candidates = top_k_blocking(
+            &ids(3),
+            &left,
+            &ids(3),
+            &right,
+            &TopKConfig {
+                k: 1,
+                backend: BlockerBackend::Exact(Metric::Euclidean),
+                dirty: false,
+            },
+        );
+        assert_eq!(
+            candidates,
+            vec![
+                (EntityId(0), EntityId(0)),
+                (EntityId(1), EntityId(0)),
+                (EntityId(2), EntityId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn k_bounds_the_candidate_count() {
+        let (left, right) = clustered();
+        for k in [1usize, 2, 3, 10] {
+            let candidates = top_k_blocking(
+                &ids(3),
+                &left,
+                &ids(3),
+                &right,
+                &TopKConfig {
+                    k,
+                    backend: BlockerBackend::Exact(Metric::Euclidean),
+                    dirty: false,
+                },
+            );
+            assert!(candidates.len() <= 3 * k.min(3));
+        }
+    }
+
+    #[test]
+    fn dirty_mode_self_blocks_without_self_pairs() {
+        let vectors = vec![
+            Embedding(vec![0.0, 1.0]),
+            Embedding(vec![0.0, 1.01]),
+            Embedding(vec![5.0, 0.0]),
+            Embedding(vec![5.0, 0.01]),
+        ];
+        let ids = ids(4);
+        let candidates = top_k_blocking(
+            &ids,
+            &vectors,
+            &ids,
+            &vectors,
+            &TopKConfig {
+                k: 2,
+                backend: BlockerBackend::Exact(Metric::Euclidean),
+                dirty: true,
+            },
+        );
+        assert!(candidates.iter().all(|(a, b)| a < b), "{candidates:?}");
+        assert!(candidates.contains(&(EntityId(0), EntityId(1))));
+        assert!(candidates.contains(&(EntityId(2), EntityId(3))));
+    }
+
+    #[test]
+    fn empty_sides_and_zero_k_yield_no_candidates() {
+        let (left, right) = clustered();
+        let cfg = TopKConfig {
+            k: 0,
+            backend: BlockerBackend::Exact(Metric::Euclidean),
+            dirty: false,
+        };
+        assert!(top_k_blocking(&ids(3), &left, &ids(3), &right, &cfg).is_empty());
+        assert!(top_k_blocking(&[], &[], &ids(3), &right, &TopKConfig::default()).is_empty());
+        assert!(top_k_blocking(&ids(3), &left, &[], &[], &TopKConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn backends_agree_on_easy_data() {
+        let (left, right) = clustered();
+        let exact = top_k_blocking(
+            &ids(3),
+            &left,
+            &ids(3),
+            &right,
+            &TopKConfig {
+                k: 1,
+                backend: BlockerBackend::Exact(Metric::Euclidean),
+                dirty: false,
+            },
+        );
+        let hnsw = top_k_blocking(
+            &ids(3),
+            &left,
+            &ids(3),
+            &right,
+            &TopKConfig {
+                k: 1,
+                backend: BlockerBackend::Hnsw(HnswConfig::default()),
+                dirty: false,
+            },
+        );
+        assert_eq!(exact, hnsw);
+    }
+}

@@ -1,0 +1,429 @@
+//! Deterministic Clean-Clean dataset generators — the D1–D10 analogues of
+//! the paper's Table 2(a) (DESIGN.md inventory row 23).
+//!
+//! Each dataset is two disjoint collections plus ground truth: the right
+//! collection contains a *perturbed duplicate* of some left records
+//! (typos, dropped words, reordered attributes — the noise classes the
+//! real Abt-Buy / DBLP-ACM / … datasets exhibit) alongside non-matching
+//! records. Record vocabulary reuses the word classes of
+//! `er_text::corpus`'s training lexicon, so zoo models pre-trained on the
+//! synthetic corpus see in-vocabulary tokens, exactly as the paper's
+//! web-pre-trained models do on its real datasets.
+//!
+//! Everything is drawn from `derive(seed, "clean-clean-D<n>")`: one
+//! `(DatasetId, seed)` pair always generates the byte-identical dataset.
+
+use crate::{DatasetId, Domain};
+use er_core::rng::derive;
+use er_core::{Entity, EntityId, GroundTruth};
+use er_text::corpus::inject_typo;
+use rand::prelude::*;
+
+/// Size/noise profile of one dataset (scaled down from Table 2a; the
+/// relative contrasts — e.g. D10 noisy-and-sparse, D4 clean — survive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetProfile {
+    pub domain: Domain,
+    /// Records in the left / right collections.
+    pub left: usize,
+    pub right: usize,
+    /// True matches (≤ min(left, right)); each is one left record with one
+    /// perturbed duplicate on the right.
+    pub matches: usize,
+    /// Per-word probability of a character-level typo in a duplicate.
+    pub typo_rate: f64,
+    /// Per-word probability that a duplicate drops the word entirely
+    /// (missing-token noise; at least one word always survives).
+    pub drop_rate: f64,
+}
+
+impl DatasetProfile {
+    /// Expected candidate-pair universe |left| × |right|.
+    pub fn cross_product(&self) -> usize {
+        self.left * self.right
+    }
+}
+
+impl DatasetId {
+    /// The generation profile for this dataset id.
+    pub fn profile(&self) -> DatasetProfile {
+        let (left, right, matches) = match self {
+            DatasetId::D1 => (90, 90, 60),
+            DatasetId::D2 => (120, 100, 70),
+            DatasetId::D3 => (100, 120, 60),
+            DatasetId::D4 => (140, 140, 100),
+            DatasetId::D5 => (110, 130, 80),
+            DatasetId::D6 => (100, 100, 65),
+            DatasetId::D7 => (130, 110, 75),
+            DatasetId::D8 => (120, 120, 85),
+            DatasetId::D9 => (150, 130, 95),
+            DatasetId::D10 => (110, 110, 55),
+        };
+        let (typo_rate, drop_rate) = if self.noisy() {
+            (0.30, 0.20)
+        } else {
+            (0.10, 0.05)
+        };
+        DatasetProfile {
+            domain: self.domain(),
+            left,
+            right,
+            matches,
+            typo_rate,
+            drop_rate,
+        }
+    }
+}
+
+/// One generated Clean-Clean ER instance.
+#[derive(Debug, Clone)]
+pub struct CleanCleanDataset {
+    pub id: DatasetId,
+    pub left: Vec<Entity>,
+    pub right: Vec<Entity>,
+    /// `(left id, right id)` true matches.
+    pub ground_truth: GroundTruth,
+}
+
+// Word pools per domain; drawn from the token classes the zoo's training
+// corpus contains (er_text::corpus::LEXICON) so embeddings are meaningful.
+const RESTAURANT_NAMES: &[&str] = &[
+    "golden",
+    "royal",
+    "palace",
+    "garden",
+    "grill",
+    "cafe",
+    "bistro",
+    "kitchen",
+    "pizza",
+    "sushi",
+    "steak",
+    "italian",
+    "mexican",
+    "french",
+    "chinese",
+    "thai",
+    "indian",
+    "restaurant",
+];
+const STREETS: &[&str] = &[
+    "main", "park", "east", "west", "north", "south", "union", "lake", "river", "forest", "spring",
+    "downtown",
+];
+const STREET_KINDS: &[&str] = &["street", "avenue", "road", "boulevard", "plaza", "square"];
+const PRODUCT_WORDS: &[&str] = &[
+    "digital", "camera", "lens", "zoom", "battery", "charger", "wireless", "speaker", "stereo",
+    "laptop", "screen", "memory", "silver", "black", "compact", "deluxe", "edition", "series",
+];
+const BIB_WORDS: &[&str] = &[
+    "system",
+    "database",
+    "query",
+    "distributed",
+    "parallel",
+    "index",
+    "analysis",
+    "learning",
+    "network",
+    "data",
+    "entity",
+    "resolution",
+    "matching",
+    "embedding",
+];
+const BIB_VENUES: &[&str] = &["journal", "proceedings"];
+const MOVIE_WORDS: &[&str] = &[
+    "story", "night", "dark", "star", "return", "last", "first", "king", "world", "love", "river",
+    "golden",
+];
+const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "david",
+    "barbara", "taylor", "morgan",
+];
+const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "wilson",
+    "anderson", "hill", "dover",
+];
+
+fn phrase(pool: &[&str], words: usize, rng: &mut impl RngCore) -> String {
+    // Sample distinct indices so names like "golden golden" don't occur.
+    let mut picked: Vec<usize> = Vec::with_capacity(words);
+    while picked.len() < words.min(pool.len()) {
+        let i = rng.gen_range(0..pool.len());
+        if !picked.contains(&i) {
+            picked.push(i);
+        }
+    }
+    picked
+        .into_iter()
+        .map(|i| pool[i])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn person(rng: &mut impl RngCore) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES.choose(rng).expect("non-empty"),
+        SURNAMES.choose(rng).expect("non-empty")
+    )
+}
+
+/// A fresh record of the given domain. Attribute schemas mirror the real
+/// datasets: a title-like attribute, a descriptive one, and numerics.
+fn record(domain: Domain, id: EntityId, rng: &mut impl RngCore) -> Entity {
+    let attributes = match domain {
+        Domain::Restaurants => vec![
+            ("name".to_string(), phrase(RESTAURANT_NAMES, 3, rng)),
+            (
+                "address".to_string(),
+                format!(
+                    "{} {} {}",
+                    rng.gen_range(1..999u32),
+                    STREETS.choose(rng).expect("non-empty"),
+                    STREET_KINDS.choose(rng).expect("non-empty"),
+                ),
+            ),
+            (
+                "phone".to_string(),
+                format!("{:010}", rng.gen_range(2_000_000_000u64..9_999_999_999)),
+            ),
+        ],
+        Domain::Products => vec![
+            ("title".to_string(), phrase(PRODUCT_WORDS, 4, rng)),
+            (
+                "model".to_string(),
+                format!(
+                    "{}{}{}",
+                    (b'a' + rng.gen_range(0..26u8)) as char,
+                    (b'a' + rng.gen_range(0..26u8)) as char,
+                    rng.gen_range(100..10_000u32)
+                ),
+            ),
+            ("price".to_string(), rng.gen_range(10..2_000u32).to_string()),
+        ],
+        Domain::Bibliographic => vec![
+            ("title".to_string(), phrase(BIB_WORDS, 5, rng)),
+            (
+                "authors".to_string(),
+                format!("{} {}", person(rng), person(rng)),
+            ),
+            (
+                "venue".to_string(),
+                format!(
+                    "{} {}",
+                    BIB_VENUES.choose(rng).expect("non-empty"),
+                    BIB_WORDS.choose(rng).expect("non-empty")
+                ),
+            ),
+            ("year".to_string(), rng.gen_range(1980..2024u32).to_string()),
+        ],
+        Domain::Movies => vec![
+            ("title".to_string(), phrase(MOVIE_WORDS, 3, rng)),
+            ("director".to_string(), person(rng)),
+            ("year".to_string(), rng.gen_range(1950..2024u32).to_string()),
+        ],
+    };
+    Entity::new(id, attributes)
+}
+
+/// Perturb one textual value: per-word typo injection and word drops.
+fn perturb_text(value: &str, profile: &DatasetProfile, rng: &mut impl RngCore) -> String {
+    let words: Vec<&str> = value.split_whitespace().collect();
+    let mut out: Vec<String> = Vec::with_capacity(words.len());
+    for (i, word) in words.iter().enumerate() {
+        // Never drop every word: keep the first one unconditionally.
+        if i > 0 && rng.gen_bool(profile.drop_rate) {
+            continue;
+        }
+        if rng.gen_bool(profile.typo_rate) {
+            out.push(inject_typo(word, rng));
+        } else {
+            out.push(word.to_string());
+        }
+    }
+    out.join(" ")
+}
+
+/// A duplicate of `original`: textual attributes perturbed; numeric-looking
+/// ones kept verbatim on clean profiles and occasionally blanked on noisy
+/// ones (the missing-value noise of D3/D10).
+fn duplicate(
+    original: &Entity,
+    id: EntityId,
+    profile: &DatasetProfile,
+    rng: &mut impl RngCore,
+) -> Entity {
+    let attributes = original
+        .attributes
+        .iter()
+        .map(|(name, value)| {
+            let numeric = value.chars().all(|c| c.is_ascii_digit());
+            let new_value = if numeric {
+                if rng.gen_bool(profile.drop_rate) {
+                    String::new()
+                } else {
+                    value.clone()
+                }
+            } else {
+                perturb_text(value, profile, rng)
+            };
+            (name.clone(), new_value)
+        })
+        .collect();
+    Entity::new(id, attributes)
+}
+
+impl CleanCleanDataset {
+    /// Generate the dataset for `id` deterministically from `seed`.
+    pub fn generate(id: DatasetId, seed: u64) -> CleanCleanDataset {
+        let profile = id.profile();
+        assert!(profile.matches <= profile.left.min(profile.right));
+        let mut rng = derive(seed, &format!("clean-clean-{id}"));
+
+        let left: Vec<Entity> = (0..profile.left)
+            .map(|i| record(profile.domain, EntityId(i as u32), &mut rng))
+            .collect();
+
+        // Duplicates of the first `matches` left records, then fresh
+        // non-matching records; shuffled so match position carries no signal.
+        let mut right: Vec<Entity> = left[..profile.matches]
+            .iter()
+            .map(|original| duplicate(original, EntityId(0), &profile, &mut rng))
+            .collect();
+        for _ in profile.matches..profile.right {
+            right.push(record(profile.domain, EntityId(0), &mut rng));
+        }
+        // `matched_left[j]` is Some(left id) if right slot j duplicates it.
+        let mut matched_left: Vec<Option<u32>> = (0..profile.right)
+            .map(|j| (j < profile.matches).then_some(j as u32))
+            .collect();
+        let mut order: Vec<usize> = (0..profile.right).collect();
+        order.shuffle(&mut rng);
+        let mut shuffled: Vec<Entity> = Vec::with_capacity(profile.right);
+        let mut pairs: Vec<(EntityId, EntityId)> = Vec::with_capacity(profile.matches);
+        for (new_pos, &old_pos) in order.iter().enumerate() {
+            let mut entity = std::mem::replace(
+                &mut right[old_pos],
+                Entity::new(EntityId(u32::MAX), Vec::new()),
+            );
+            entity.id = EntityId(new_pos as u32);
+            if let Some(left_id) = matched_left[old_pos].take() {
+                pairs.push((EntityId(left_id), entity.id));
+            }
+            shuffled.push(entity);
+        }
+
+        CleanCleanDataset {
+            id,
+            left,
+            right: shuffled,
+            ground_truth: GroundTruth::clean_clean(pairs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_declared_sizes() {
+        for id in DatasetId::ALL {
+            let profile = id.profile();
+            let ds = CleanCleanDataset::generate(id, 42);
+            assert_eq!(ds.left.len(), profile.left, "{id}");
+            assert_eq!(ds.right.len(), profile.right, "{id}");
+            assert_eq!(ds.ground_truth.len(), profile.matches, "{id}");
+            assert!(profile.cross_product() > 0);
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_ground_truth_in_range() {
+        let ds = CleanCleanDataset::generate(DatasetId::D6, 7);
+        for (i, e) in ds.left.iter().enumerate() {
+            assert_eq!(e.id, EntityId(i as u32));
+        }
+        for (i, e) in ds.right.iter().enumerate() {
+            assert_eq!(e.id, EntityId(i as u32));
+        }
+        for (l, r) in ds.ground_truth.iter() {
+            assert!((l.0 as usize) < ds.left.len());
+            assert!((r.0 as usize) < ds.right.len());
+        }
+    }
+
+    #[test]
+    fn same_seed_generates_identical_datasets() {
+        let a = CleanCleanDataset::generate(DatasetId::D3, 42);
+        let b = CleanCleanDataset::generate(DatasetId::D3, 42);
+        assert_eq!(a.left, b.left);
+        assert_eq!(a.right, b.right);
+        assert_eq!(a.ground_truth, b.ground_truth);
+
+        let c = CleanCleanDataset::generate(DatasetId::D3, 43);
+        assert_ne!(a.left, c.left, "different seeds must diverge");
+    }
+
+    #[test]
+    fn datasets_differ_per_id_under_one_seed() {
+        let d1 = CleanCleanDataset::generate(DatasetId::D1, 42);
+        let d7 = CleanCleanDataset::generate(DatasetId::D7, 42);
+        assert_ne!(
+            d1.left[0].attributes, d7.left[0].attributes,
+            "per-dataset RNG streams must be independent"
+        );
+    }
+
+    #[test]
+    fn duplicates_share_most_surface_with_their_original() {
+        use er_core::SerializationMode;
+        let ds = CleanCleanDataset::generate(DatasetId::D1, 42);
+        let mut overlaps = Vec::new();
+        for (l, r) in ds.ground_truth.iter() {
+            let left = ds.left[l.0 as usize].serialize(&SerializationMode::SchemaAgnostic);
+            let right = ds.right[r.0 as usize].serialize(&SerializationMode::SchemaAgnostic);
+            let lw: std::collections::BTreeSet<&str> = left.split_whitespace().collect();
+            let rw: std::collections::BTreeSet<&str> = right.split_whitespace().collect();
+            let shared = lw.intersection(&rw).count();
+            overlaps.push(shared as f64 / lw.len().max(1) as f64);
+        }
+        let mean = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
+        assert!(
+            mean > 0.6,
+            "clean-profile duplicates should keep most tokens (mean overlap {mean:.2})"
+        );
+        // But perturbation must actually happen somewhere.
+        assert!(
+            overlaps.iter().any(|&o| o < 1.0),
+            "no duplicate was perturbed at all"
+        );
+    }
+
+    #[test]
+    fn noisy_profiles_are_noisier() {
+        use er_core::SerializationMode;
+        let overlap_of = |id: DatasetId| {
+            let ds = CleanCleanDataset::generate(id, 42);
+            let mut total = 0.0;
+            let mut n = 0;
+            for (l, r) in ds.ground_truth.iter() {
+                let left = ds.left[l.0 as usize].serialize(&SerializationMode::SchemaAgnostic);
+                let right = ds.right[r.0 as usize].serialize(&SerializationMode::SchemaAgnostic);
+                let lw: std::collections::BTreeSet<&str> = left.split_whitespace().collect();
+                let rw: std::collections::BTreeSet<&str> = right.split_whitespace().collect();
+                total += lw.intersection(&rw).count() as f64 / lw.len().max(1) as f64;
+                n += 1;
+            }
+            total / n as f64
+        };
+        let clean = overlap_of(DatasetId::D4);
+        let noisy = overlap_of(DatasetId::D10);
+        assert!(
+            noisy < clean,
+            "D10 (noisy) overlap {noisy:.2} should be below D4 (clean) {clean:.2}"
+        );
+    }
+}

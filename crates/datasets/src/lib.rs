@@ -1,8 +1,14 @@
 //! er-datasets — dataset generators (DESIGN.md inventory rows 22–24:
 //! Febrl-style Dirty-ER, Clean-Clean D1–D10 analogues, DSM labeled pairs).
 //!
-//! This PR ships the dataset identifiers and their domain/size profiles —
-//! the contract the generators (next PR) fill in deterministically.
+//! Ships the dataset identifiers with their domain/size profiles and the
+//! deterministic Clean-Clean generators (row 23). The Febrl-style Dirty-ER
+//! generator (row 22) and the DSM labeled-pair sets (row 24) land with the
+//! scalability and supervised-matching PRs.
+
+pub mod clean_clean;
+
+pub use clean_clean::{CleanCleanDataset, DatasetProfile};
 
 use std::fmt;
 

@@ -5,7 +5,7 @@
 //! This PR ships the core [`Metrics`] triple every experiment reports;
 //! statistics and report writers land with the experiment-binary PR.
 
-use er_core::{GroundTruth, ScoredPair};
+use er_core::{EntityId, GroundTruth, ScoredPair};
 
 /// Precision / recall (the paper's "pairs completeness" for blocking) / F1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +40,20 @@ impl Metrics {
         }
     }
 
+    /// Score an unscored candidate set (a blocker's output) against the
+    /// ground truth. `recall` is the paper's *pairs completeness* — the
+    /// fraction of true matches surviving blocking — and `precision` is
+    /// the candidate-set quality (≈ 1 / pairs-quality denominator).
+    pub fn of_candidates(candidates: &[(EntityId, EntityId)], gt: &GroundTruth) -> Metrics {
+        let tp = candidates
+            .iter()
+            .filter(|(l, r)| gt.contains(*l, *r))
+            .count();
+        let fp = candidates.len() - tp;
+        let fn_ = gt.len().saturating_sub(tp);
+        Metrics::from_counts(tp, fp, fn_)
+    }
+
     /// Score a predicted pair set against the ground truth.
     pub fn of_pairs(predicted: &[ScoredPair], gt: &GroundTruth) -> Metrics {
         let tp = predicted
@@ -66,6 +80,47 @@ mod tests {
         let zero = Metrics::from_counts(0, 0, 0);
         assert_eq!(zero, Metrics::from_counts(0, 5, 5));
         assert_eq!(zero.f1, 0.0);
+    }
+
+    #[test]
+    fn degenerate_denominators_score_zero_not_nan() {
+        // No predictions at all: precision undefined -> 0, recall 0.
+        let none = Metrics::from_counts(0, 0, 7);
+        assert_eq!((none.precision, none.recall, none.f1), (0.0, 0.0, 0.0));
+        // No true matches exist: recall undefined -> 0.
+        let no_gt = Metrics::from_counts(0, 7, 0);
+        assert_eq!((no_gt.precision, no_gt.recall, no_gt.f1), (0.0, 0.0, 0.0));
+        // Perfect prediction: both denominators collapse to tp.
+        let perfect = Metrics::from_counts(7, 0, 0);
+        assert_eq!(
+            (perfect.precision, perfect.recall, perfect.f1),
+            (1.0, 1.0, 1.0)
+        );
+        for m in [none, no_gt, perfect] {
+            assert!(m.precision.is_finite() && m.recall.is_finite() && m.f1.is_finite());
+        }
+    }
+
+    #[test]
+    fn scores_candidates_for_pairs_completeness() {
+        let gt = GroundTruth::clean_clean([
+            (EntityId(0), EntityId(5)),
+            (EntityId(1), EntityId(6)),
+            (EntityId(2), EntityId(7)),
+        ]);
+        let candidates = vec![
+            (EntityId(0), EntityId(5)),
+            (EntityId(1), EntityId(6)),
+            (EntityId(1), EntityId(7)), // near-miss: not in gt
+            (EntityId(3), EntityId(9)),
+        ];
+        let m = Metrics::of_candidates(&candidates, &gt);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12, "PC = 2 of 3 matches");
+        assert!((m.precision - 0.5).abs() < 1e-12);
+
+        // Empty candidate set against empty ground truth stays finite.
+        let zero = Metrics::of_candidates(&[], &GroundTruth::default());
+        assert_eq!(zero, Metrics::from_counts(0, 0, 0));
     }
 
     #[test]

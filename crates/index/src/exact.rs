@@ -1,7 +1,7 @@
 //! Exact k-NN by brute-force scan with a bounded max-heap — the ground
 //! truth every approximate index is measured against.
 
-use crate::NnIndex;
+use crate::{Metric, NnIndex};
 use er_core::Embedding;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -38,27 +38,30 @@ impl Ord for Hit {
 #[derive(Debug, Clone)]
 pub struct ExactIndex {
     vectors: Vec<Embedding>,
+    metric: Metric,
 }
 
 impl ExactIndex {
+    /// Build with the default metric (squared Euclidean).
     pub fn build(vectors: &[Embedding]) -> ExactIndex {
+        ExactIndex::with_metric(vectors, Metric::Euclidean)
+    }
+
+    pub fn with_metric(vectors: &[Embedding], metric: Metric) -> ExactIndex {
         ExactIndex {
             vectors: vectors.to_vec(),
+            metric,
         }
     }
-}
-
-fn sq_euclid(a: &Embedding, b: &Embedding) -> f32 {
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
 }
 
 impl NnIndex for ExactIndex {
     fn len(&self) -> usize {
         self.vectors.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
     }
 
     fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
@@ -67,7 +70,7 @@ impl NnIndex for ExactIndex {
         }
         let mut heap: BinaryHeap<Hit> = BinaryHeap::with_capacity(k + 1);
         for (idx, v) in self.vectors.iter().enumerate() {
-            let dist = sq_euclid(query, v);
+            let dist = self.metric.distance(query, v);
             if heap.len() < k {
                 heap.push(Hit { dist, idx });
             } else if dist < heap.peek().expect("non-empty").dist {
@@ -97,6 +100,7 @@ mod tests {
     #[test]
     fn returns_nearest_first() {
         let index = ExactIndex::build(&points());
+        assert_eq!(index.metric(), Metric::Euclidean);
         let hits = index.search(&Embedding(vec![0.9, 0.1]), 2);
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0, 1, "closest point is (1,0)");
@@ -110,5 +114,44 @@ mod tests {
         assert_eq!(index.search(&Embedding(vec![0.0, 0.0]), 10).len(), 4);
         assert_eq!(index.len(), 4);
         assert!(index.search(&Embedding(vec![0.0, 0.0]), 0).is_empty());
+    }
+
+    #[test]
+    fn hand_computed_euclidean_fixture() {
+        // a = (1,0), b = (0,2), c = (3,4); query (1,0): |q-a|² = 0,
+        // |q-b|² = 1+4 = 5, |q-c|² = 4+16 = 20.
+        let vectors = vec![
+            Embedding(vec![1.0, 0.0]),
+            Embedding(vec![0.0, 2.0]),
+            Embedding(vec![3.0, 4.0]),
+        ];
+        let index = ExactIndex::with_metric(&vectors, Metric::Euclidean);
+        let hits = index.search(&Embedding(vec![1.0, 0.0]), 3);
+        assert_eq!(hits, vec![(0, 0.0), (1, 5.0), (2, 20.0)]);
+    }
+
+    #[test]
+    fn hand_computed_cosine_fixture() {
+        // Same fixture, query (1,0): cos distances 0, 1, 1−3/5 = 0.4 — the
+        // scaled-but-colinear ranking Euclidean gets wrong.
+        let vectors = vec![
+            Embedding(vec![1.0, 0.0]),
+            Embedding(vec![0.0, 2.0]),
+            Embedding(vec![3.0, 4.0]),
+        ];
+        let index = ExactIndex::with_metric(&vectors, Metric::Cosine);
+        assert_eq!(index.metric(), Metric::Cosine);
+        let hits = index.search(&Embedding(vec![1.0, 0.0]), 3);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 2, "colinear-ish beats orthogonal under cosine");
+        assert_eq!(hits[2].0, 1);
+        assert!((hits[1].1 - 0.4).abs() < 1e-6);
+        assert!((hits[2].1 - 1.0).abs() < 1e-6);
+
+        // Under Euclidean the order of those two flips: 20 > 5.
+        let euclid = ExactIndex::build(&vectors);
+        let hits = euclid.search(&Embedding(vec![1.0, 0.0]), 3);
+        assert_eq!(hits[1].0, 1);
+        assert_eq!(hits[2].0, 2);
     }
 }

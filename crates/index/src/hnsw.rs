@@ -1,0 +1,421 @@
+//! HNSW — Hierarchical Navigable Small World graphs (Malkov & Yashunin,
+//! DESIGN.md inventory row 10; the FAISS-HNSW analogue of the paper's
+//! scalability study, §4.3).
+//!
+//! A layered proximity graph: layer 0 holds every vector with up to `2·M`
+//! links, each higher layer an exponentially thinner subset with up to `M`
+//! links. Queries greedily descend from the sparse top layer, then run a
+//! best-first beam of width `ef_search` on layer 0. Construction inserts
+//! nodes one at a time with a beam of width `ef_construction` and the
+//! heuristic neighbour selection of the paper's Algorithm 4.
+//!
+//! Determinism: node levels are the only random choice, drawn from a
+//! dedicated stream of `er_core::rng` seeded by `HnswConfig::seed`; every
+//! heap and neighbour comparison tie-breaks on node id, so one
+//! `(vectors, config)` pair always builds the bit-identical graph.
+
+use crate::{Metric, NnIndex};
+use er_core::rng::derive;
+use er_core::Embedding;
+use rand::Rng;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Levels are capped so a pathological RNG draw cannot allocate an
+/// unbounded tower (16 layers already covers ~M^16 nodes).
+const MAX_LEVEL: usize = 16;
+
+/// Tunables of the graph (the paper sweeps `ef_search` in its FAISS
+/// configuration ablation; see `bench_indexing`).
+#[derive(Debug, Clone)]
+pub struct HnswConfig {
+    /// Max links per node on layers ≥ 1 (layer 0 allows `2·M`).
+    pub m: usize,
+    /// Beam width while inserting.
+    pub ef_construction: usize,
+    /// Beam width while querying (raised to `k` when `k` is larger).
+    pub ef_search: usize,
+    pub metric: Metric,
+    /// Seed for the level-sampling stream.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            metric: Metric::Euclidean,
+            seed: 42,
+        }
+    }
+}
+
+/// A `(distance, id)` pair with a total, deterministic order: primary by
+/// distance, ties by id. `BinaryHeap<Cand>` is a max-heap (worst on top),
+/// `BinaryHeap<Reverse<Cand>>` a min-heap (best on top).
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    dist: f32,
+    id: u32,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Cand {}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    vectors: Vec<Embedding>,
+    /// `neighbors[node][layer]` — adjacency lists, layer 0 first.
+    neighbors: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: usize,
+    config: HnswConfig,
+}
+
+impl HnswIndex {
+    pub fn build(vectors: &[Embedding], config: HnswConfig) -> HnswIndex {
+        assert!(config.m >= 2, "HNSW needs m >= 2");
+        assert!(config.ef_construction >= 1 && config.ef_search >= 1);
+        let mut index = HnswIndex {
+            vectors: vectors.to_vec(),
+            neighbors: Vec::with_capacity(vectors.len()),
+            entry: 0,
+            max_level: 0,
+            config,
+        };
+        // Exponentially-decaying level distribution: P(level ≥ l) = M^(-l).
+        let ml = 1.0 / (index.config.m as f64).ln();
+        let mut levels = derive(index.config.seed, "hnsw-levels");
+        let mut visited = vec![false; vectors.len()];
+        for id in 0..vectors.len() as u32 {
+            let u: f64 = levels.gen_range(0.0..1.0);
+            // 1−u ∈ (0, 1] keeps ln finite; u = 0 maps to level 0.
+            let level = ((-(1.0 - u).ln()) * ml) as usize;
+            index.insert(id, level.min(MAX_LEVEL), &mut visited);
+        }
+        index
+    }
+
+    pub fn config(&self) -> &HnswConfig {
+        &self.config
+    }
+
+    /// Adjust the query-time beam width without rebuilding the graph.
+    /// `ef_search` only affects [`NnIndex::search`], never the graph itself
+    /// — the same knob FAISS exposes as a search-time parameter.
+    pub fn with_ef_search(mut self, ef_search: usize) -> Self {
+        self.config.ef_search = ef_search;
+        self
+    }
+
+    /// The adjacency structure, `[node][layer] -> neighbour ids` — exposed
+    /// so determinism tests can assert bit-identical graphs.
+    pub fn adjacency(&self) -> &[Vec<Vec<u32>>] {
+        &self.neighbors
+    }
+
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    fn dist(&self, a: &Embedding, id: u32) -> f32 {
+        self.config.metric.distance(a, &self.vectors[id as usize])
+    }
+
+    fn insert(&mut self, id: u32, level: usize, visited: &mut [bool]) {
+        self.neighbors.push(vec![Vec::new(); level + 1]);
+        if id == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return;
+        }
+        let query = self.vectors[id as usize].clone();
+        let mut cur = Cand {
+            dist: self.dist(&query, self.entry),
+            id: self.entry,
+        };
+        // Greedy descent through layers above the new node's level.
+        for layer in (level + 1..=self.max_level).rev() {
+            cur = self.greedy_closest(&query, cur, layer);
+        }
+        // Beam search + connect on each layer the node participates in.
+        let mut entries = vec![cur];
+        for layer in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(
+                &query,
+                &entries,
+                self.config.ef_construction,
+                layer,
+                visited,
+            );
+            let max_conn = if layer == 0 {
+                2 * self.config.m
+            } else {
+                self.config.m
+            };
+            let selected = self.select_neighbors(&found, self.config.m);
+            for &nb in &selected {
+                let mut conns = self.neighbors[nb as usize][layer].clone();
+                conns.push(id);
+                if conns.len() > max_conn {
+                    conns = self.prune(nb, conns, max_conn);
+                }
+                self.neighbors[nb as usize][layer] = conns;
+            }
+            self.neighbors[id as usize][layer] = selected;
+            entries = found;
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+    }
+
+    /// Hill-climb to the locally closest node of one layer (beam width 1).
+    fn greedy_closest(&self, query: &Embedding, mut cur: Cand, layer: usize) -> Cand {
+        loop {
+            let mut best = cur;
+            for &nb in &self.neighbors[cur.id as usize][layer] {
+                let cand = Cand {
+                    dist: self.dist(query, nb),
+                    id: nb,
+                };
+                if cand < best {
+                    best = cand;
+                }
+            }
+            if best.id == cur.id {
+                return cur;
+            }
+            cur = best;
+        }
+    }
+
+    /// Best-first beam search of one layer (the paper's Algorithm 2),
+    /// returning up to `ef` candidates sorted nearest-first.
+    fn search_layer(
+        &self,
+        query: &Embedding,
+        entries: &[Cand],
+        ef: usize,
+        layer: usize,
+        visited: &mut [bool],
+    ) -> Vec<Cand> {
+        visited.iter_mut().for_each(|v| *v = false);
+        let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        let mut results: BinaryHeap<Cand> = BinaryHeap::with_capacity(ef + 1);
+        for &e in entries {
+            if !std::mem::replace(&mut visited[e.id as usize], true) {
+                frontier.push(Reverse(e));
+                results.push(e);
+            }
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Reverse(cand)) = frontier.pop() {
+            let worst = results.peek().expect("results non-empty").dist;
+            if results.len() == ef && cand.dist > worst {
+                break;
+            }
+            for &nb in &self.neighbors[cand.id as usize][layer] {
+                if std::mem::replace(&mut visited[nb as usize], true) {
+                    continue;
+                }
+                let next = Cand {
+                    dist: self.dist(query, nb),
+                    id: nb,
+                };
+                if results.len() < ef || next < *results.peek().expect("non-empty") {
+                    frontier.push(Reverse(next));
+                    results.push(next);
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out = results.into_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Heuristic neighbour selection (Algorithm 4): walk candidates
+    /// nearest-first, keeping one only if it is closer to the query than to
+    /// every already-kept neighbour (diversity), then back-fill with the
+    /// nearest rejected candidates (keep-pruned-connections).
+    fn select_neighbors(&self, candidates: &[Cand], m: usize) -> Vec<u32> {
+        let mut selected: Vec<Cand> = Vec::with_capacity(m);
+        for &cand in candidates {
+            if selected.len() == m {
+                break;
+            }
+            let diverse = selected
+                .iter()
+                .all(|&kept| self.dist(&self.vectors[cand.id as usize], kept.id) > cand.dist);
+            if diverse {
+                selected.push(cand);
+            }
+        }
+        if selected.len() < m {
+            for &cand in candidates {
+                if selected.len() == m {
+                    break;
+                }
+                if !selected.iter().any(|kept| kept.id == cand.id) {
+                    selected.push(cand);
+                }
+            }
+        }
+        selected.into_iter().map(|c| c.id).collect()
+    }
+
+    /// Re-select a node's links after a back-link pushed it past `max_conn`.
+    fn prune(&self, node: u32, conns: Vec<u32>, max_conn: usize) -> Vec<u32> {
+        let anchor = &self.vectors[node as usize];
+        let mut cands: Vec<Cand> = conns
+            .into_iter()
+            .map(|id| Cand {
+                dist: self
+                    .config
+                    .metric
+                    .distance(anchor, &self.vectors[id as usize]),
+                id,
+            })
+            .collect();
+        cands.sort_unstable();
+        self.select_neighbors(&cands, max_conn)
+    }
+}
+
+impl NnIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.config.metric
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+        if k == 0 || self.vectors.is_empty() {
+            return Vec::new();
+        }
+        let mut cur = Cand {
+            dist: self.dist(query, self.entry),
+            id: self.entry,
+        };
+        for layer in (1..=self.max_level).rev() {
+            cur = self.greedy_closest(query, cur, layer);
+        }
+        let ef = self.config.ef_search.max(k);
+        let mut visited = vec![false; self.vectors.len()];
+        let found = self.search_layer(query, &[cur], ef, 0, &mut visited);
+        found
+            .into_iter()
+            .take(k)
+            .map(|c| (c.id as usize, c.dist))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Embedding> {
+        // A 6×6 grid: nearest neighbours are unambiguous.
+        (0..36)
+            .map(|i| Embedding(vec![(i % 6) as f32, (i / 6) as f32]))
+            .collect()
+    }
+
+    #[test]
+    fn finds_exact_hits_on_small_data() {
+        let index = HnswIndex::build(&grid(), HnswConfig::default());
+        assert_eq!(index.len(), 36);
+        // Query right on top of node 14 = (2, 2).
+        let hits = index.search(&Embedding(vec![2.0, 2.0]), 5);
+        assert_eq!(hits[0], (14, 0.0));
+        // The four direct grid neighbours are all at distance 1.
+        let next: Vec<usize> = hits[1..].iter().map(|h| h.0).collect();
+        assert_eq!(next, vec![8, 13, 15, 20]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty = HnswIndex::build(&[], HnswConfig::default());
+        assert!(empty.is_empty());
+        assert!(empty.search(&Embedding(vec![0.0]), 3).is_empty());
+
+        let one = HnswIndex::build(&[Embedding(vec![1.0, 1.0])], HnswConfig::default());
+        let hits = one.search(&Embedding(vec![0.0, 0.0]), 5);
+        assert_eq!(hits, vec![(0, 2.0)]);
+        assert!(one.search(&Embedding(vec![0.0, 0.0]), 0).is_empty());
+    }
+
+    #[test]
+    fn respects_cosine_metric() {
+        let vectors = vec![
+            Embedding(vec![1.0, 0.0]),
+            Embedding(vec![0.0, 2.0]),
+            Embedding(vec![3.0, 4.0]),
+        ];
+        let index = HnswIndex::build(
+            &vectors,
+            HnswConfig {
+                metric: Metric::Cosine,
+                ..HnswConfig::default()
+            },
+        );
+        assert_eq!(index.metric(), Metric::Cosine);
+        let hits = index.search(&Embedding(vec![1.0, 0.0]), 3);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 2, "cosine ranks colinear-ish above orthogonal");
+        assert!((hits[1].1 - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn graph_is_bounded_connected_and_self_link_free() {
+        let index = HnswIndex::build(&grid(), HnswConfig::default());
+        let adj = index.adjacency();
+        for (id, layers) in adj.iter().enumerate() {
+            assert!(!layers.is_empty());
+            assert!(layers[0].len() <= 2 * index.config().m);
+            if adj.len() > 1 {
+                assert!(!layers[0].is_empty(), "node {id} isolated on layer 0");
+            }
+            for &nb in &layers[0] {
+                assert_ne!(nb as usize, id, "no self-links");
+                assert!((nb as usize) < adj.len());
+            }
+        }
+        // Every node must be findable: querying a node's own vector with a
+        // wide beam returns that node first.
+        for (id, v) in grid().iter().enumerate() {
+            let hits = index.search(v, 1);
+            assert_eq!(hits[0], (id, 0.0), "node {id} unreachable from entry");
+        }
+    }
+}

@@ -1,19 +1,27 @@
 //! er-index — nearest-neighbour search (DESIGN.md inventory rows 9–11b).
 //!
-//! This PR ships the [`NnIndex`] trait and the exact brute-force scan
-//! (row 9, "Blocking on Clean-Clean data"); HNSW (row 10), LSH (row 11)
-//! and IVF-Flat (row 11b) arrive with the blocking PR behind the same
-//! trait, matching the `bench_indexing` contract.
+//! Ships the [`NnIndex`] trait, the exact brute-force scan (row 9), the
+//! HNSW graph index (row 10) and hyperplane LSH with multi-table probing
+//! (row 11), all deterministic under a fixed seed and generic over
+//! [`Metric`]. IVF-Flat (row 11b) and cross-polytope LSH arrive with the
+//! engine-ablation PR behind the same trait.
 
 pub mod exact;
+pub mod hnsw;
+pub mod lsh;
+pub mod metric;
 
 pub use exact::ExactIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use lsh::{HyperplaneLsh, LshConfig};
+pub use metric::Metric;
 
 use er_core::Embedding;
 
 /// A nearest-neighbour index over a fixed set of embeddings. `search`
-/// returns up to `k` `(vector index, squared Euclidean distance)` hits,
-/// nearest first.
+/// returns up to `k` `(vector index, distance)` hits, nearest first, where
+/// the distance semantics are given by [`NnIndex::metric`] (lower is
+/// always closer).
 pub trait NnIndex {
     fn len(&self) -> usize;
 
@@ -21,5 +29,42 @@ pub trait NnIndex {
         self.len() == 0
     }
 
+    /// The distance this index was built to minimize.
+    fn metric(&self) -> Metric;
+
     fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)>;
+
+    /// Batched search over many queries, parallelized across a scoped-thread
+    /// worker pool (no crates.io, so no rayon — plain `std::thread::scope`).
+    ///
+    /// Queries are split into contiguous chunks, one per worker, and the
+    /// per-chunk results are reassembled in input order, so the output is
+    /// *identical* to calling [`NnIndex::search`] sequentially — blocking an
+    /// entire dataset saturates cores without sacrificing determinism.
+    fn search_batch(&self, queries: &[Embedding], k: usize) -> Vec<Vec<(usize, f32)>>
+    where
+        Self: Sync + Sized,
+    {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(queries.len());
+        if workers <= 1 {
+            return queries.iter().map(|q| self.search(q, k)).collect();
+        }
+        let chunk = queries.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(queries.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move || chunk.iter().map(|q| self.search(q, k)).collect::<Vec<_>>())
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("search worker panicked"));
+            }
+        });
+        out
+    }
 }

@@ -1,0 +1,281 @@
+//! Random-hyperplane LSH with multi-table probing (DESIGN.md inventory
+//! row 11; the DeepER / AutoBlock lineage baseline).
+//!
+//! Each table draws `planes` Gaussian hyperplanes; a vector's signature is
+//! the bit pattern of its dot-product signs, so two vectors collide with
+//! probability `1 − θ/π` — the classic cosine sketch. Queries look up
+//! their bucket in every table, optionally probe the buckets reached by
+//! flipping the lowest-margin signature bits (multi-probe), then exactly
+//! re-rank the gathered candidates under the configured [`Metric`].
+//!
+//! Determinism: table `t` draws its hyperplanes from the stream
+//! `derive(seed, "lsh-table-{t}")`, so the same seed reproduces identical
+//! signatures — and table `t` is identical regardless of how many tables
+//! follow it, which makes recall provably non-decreasing in `tables` for a
+//! fixed seed (the candidate union only grows).
+
+use crate::{Metric, NnIndex};
+use er_core::rng::derive;
+use er_core::Embedding;
+use rand::{Rng, RngCore};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+pub struct LshConfig {
+    /// Hyperplanes (signature bits) per table, at most 64.
+    pub planes: usize,
+    /// Number of independent tables; more tables ⇒ higher recall.
+    pub tables: usize,
+    /// Extra buckets probed per table by flipping the lowest-margin bits.
+    pub probes: usize,
+    /// Metric used for the exact re-ranking of gathered candidates.
+    pub metric: Metric,
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        LshConfig {
+            planes: 12,
+            tables: 8,
+            probes: 2,
+            // Hyperplane sketches approximate angles, so cosine is the
+            // native re-ranking metric.
+            metric: Metric::Cosine,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    /// `planes × dim`, row-major.
+    hyperplanes: Vec<Vec<f32>>,
+    /// Signature → vector ids, ids in insertion (= index) order.
+    buckets: HashMap<u64, Vec<u32>>,
+    /// Per-vector signature, for the determinism contract.
+    signatures: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+pub struct HyperplaneLsh {
+    vectors: Vec<Embedding>,
+    tables: Vec<Table>,
+    config: LshConfig,
+}
+
+/// Standard normal via Box–Muller (the vendored `rand` has no
+/// distributions module).
+fn gaussian(rng: &mut impl RngCore) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+impl HyperplaneLsh {
+    pub fn build(vectors: &[Embedding], config: LshConfig) -> HyperplaneLsh {
+        assert!(
+            (1..=64).contains(&config.planes),
+            "signatures are u64 bitmasks: 1 <= planes <= 64"
+        );
+        assert!(config.tables >= 1, "need at least one table");
+        let dim = vectors.first().map(Embedding::dim).unwrap_or(0);
+        let tables = (0..config.tables)
+            .map(|t| {
+                let mut rng = derive(config.seed, &format!("lsh-table-{t}"));
+                let hyperplanes: Vec<Vec<f32>> = (0..config.planes)
+                    .map(|_| (0..dim).map(|_| gaussian(&mut rng)).collect())
+                    .collect();
+                let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+                let mut signatures = Vec::with_capacity(vectors.len());
+                for (id, v) in vectors.iter().enumerate() {
+                    let sig = signature(&hyperplanes, v);
+                    signatures.push(sig);
+                    buckets.entry(sig).or_default().push(id as u32);
+                }
+                Table {
+                    hyperplanes,
+                    buckets,
+                    signatures,
+                }
+            })
+            .collect();
+        HyperplaneLsh {
+            vectors: vectors.to_vec(),
+            tables,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &LshConfig {
+        &self.config
+    }
+
+    /// Per-table signatures, `[table][vector] -> u64` — exposed so the
+    /// determinism tests can assert bit-identity across builds.
+    pub fn signatures(&self) -> Vec<&[u64]> {
+        self.tables
+            .iter()
+            .map(|t| t.signatures.as_slice())
+            .collect()
+    }
+
+    /// Gather the deduplicated candidate ids the probing scheme reaches for
+    /// `query` (exposed for the recall analysis; `search` re-ranks these).
+    pub fn candidates(&self, query: &Embedding) -> Vec<u32> {
+        let mut seen = vec![false; self.vectors.len()];
+        let mut out = Vec::new();
+        for table in &self.tables {
+            let (sig, margins) = signature_with_margins(&table.hyperplanes, query);
+            // Probe order: the base bucket, then single-bit flips of the
+            // least-confident (smallest |margin|) bits.
+            let mut order: Vec<usize> = (0..self.config.planes).collect();
+            order.sort_by(|&a, &b| {
+                margins[a]
+                    .abs()
+                    .total_cmp(&margins[b].abs())
+                    .then_with(|| a.cmp(&b))
+            });
+            let probes = std::iter::once(sig).chain(
+                order
+                    .iter()
+                    .take(self.config.probes)
+                    .map(|&bit| sig ^ (1 << bit)),
+            );
+            for probe in probes {
+                if let Some(bucket) = table.buckets.get(&probe) {
+                    for &id in bucket {
+                        if !std::mem::replace(&mut seen[id as usize], true) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn signature(hyperplanes: &[Vec<f32>], v: &Embedding) -> u64 {
+    let mut sig = 0u64;
+    for (bit, plane) in hyperplanes.iter().enumerate() {
+        let dot: f32 = plane.iter().zip(v.as_slice()).map(|(p, x)| p * x).sum();
+        if dot >= 0.0 {
+            sig |= 1 << bit;
+        }
+    }
+    sig
+}
+
+fn signature_with_margins(hyperplanes: &[Vec<f32>], v: &Embedding) -> (u64, Vec<f32>) {
+    let mut sig = 0u64;
+    let mut margins = Vec::with_capacity(hyperplanes.len());
+    for (bit, plane) in hyperplanes.iter().enumerate() {
+        let dot: f32 = plane.iter().zip(v.as_slice()).map(|(p, x)| p * x).sum();
+        if dot >= 0.0 {
+            sig |= 1 << bit;
+        }
+        margins.push(dot);
+    }
+    (sig, margins)
+}
+
+impl NnIndex for HyperplaneLsh {
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.config.metric
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut hits: Vec<(usize, f32)> = self
+            .candidates(query)
+            .into_iter()
+            .map(|id| {
+                (
+                    id as usize,
+                    self.config
+                        .metric
+                        .distance(query, &self.vectors[id as usize]),
+                )
+            })
+            .collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::rng::rng;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Embedding> {
+        let mut r = rng(seed);
+        (0..n)
+            .map(|_| Embedding((0..dim).map(|_| r.gen_range(-1.0..1.0)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let vectors = random_vectors(20, 8, 1);
+        let lsh = HyperplaneLsh::build(&vectors, LshConfig::default());
+        for (id, v) in vectors.iter().enumerate() {
+            // A vector is always a candidate for itself (same signature in
+            // every table), so search finds it at distance ~0.
+            let hits = lsh.search(v, 1);
+            assert_eq!(hits[0].0, id);
+            assert!(hits[0].1 < 1e-6);
+        }
+    }
+
+    #[test]
+    fn probing_expands_the_candidate_set() {
+        let vectors = random_vectors(200, 8, 2);
+        let base = HyperplaneLsh::build(
+            &vectors,
+            LshConfig {
+                probes: 0,
+                ..LshConfig::default()
+            },
+        );
+        let probed = HyperplaneLsh::build(
+            &vectors,
+            LshConfig {
+                probes: 4,
+                ..LshConfig::default()
+            },
+        );
+        let q = Embedding(vec![0.3; 8]);
+        let narrow = base.candidates(&q).len();
+        let wide = probed.candidates(&q).len();
+        assert!(wide >= narrow, "probing must not shrink candidates");
+    }
+
+    #[test]
+    fn empty_index_and_zero_k() {
+        let lsh = HyperplaneLsh::build(&[], LshConfig::default());
+        assert!(lsh.is_empty());
+        assert!(lsh.search(&Embedding(vec![1.0]), 5).is_empty());
+        let one = HyperplaneLsh::build(&[Embedding(vec![1.0, 2.0])], LshConfig::default());
+        assert!(one.search(&Embedding(vec![1.0, 2.0]), 0).is_empty());
+    }
+
+    #[test]
+    fn gaussian_stream_is_roughly_standard() {
+        let mut r = rng(7);
+        let samples: Vec<f32> = (0..4000).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / samples.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "variance {var}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Distance metrics shared by every index.
+//!
+//! The paper's blocking experiments retrieve by cosine similarity over the
+//! (often unnormalized) sentence embeddings, while the scalability study's
+//! FAISS indices operate on (squared) Euclidean distance. Both are exposed
+//! behind one enum so the indices and the blocker agree on what a returned
+//! "distance" means: always *lower is closer*.
+
+use er_core::Embedding;
+
+/// The distance an index minimizes. Every [`crate::NnIndex`] reports which
+/// one it was built with via [`crate::NnIndex::metric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance (monotone in Euclidean, cheaper — the
+    /// FAISS convention the paper's blocking code relies on).
+    #[default]
+    Euclidean,
+    /// Cosine *distance*, `1 − cos(a, b)`; zero vectors are maximally far
+    /// (distance 1), matching `Embedding::cosine`'s zero-vector convention.
+    Cosine,
+}
+
+impl Metric {
+    /// Distance between two embeddings; lower is closer for both variants.
+    pub fn distance(&self, a: &Embedding, b: &Embedding) -> f32 {
+        match self {
+            Metric::Euclidean => a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum(),
+            Metric::Cosine => 1.0 - a.cosine(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Hand-computed three-vector fixture: a = (1,0), b = (0,2), c = (3,4).
+    fn fixture() -> (Embedding, Embedding, Embedding) {
+        (
+            Embedding(vec![1.0, 0.0]),
+            Embedding(vec![0.0, 2.0]),
+            Embedding(vec![3.0, 4.0]),
+        )
+    }
+
+    #[test]
+    fn euclidean_is_squared() {
+        let (a, b, c) = fixture();
+        // |a-b|² = 1 + 4, |a-c|² = 4 + 16, |b-c|² = 9 + 4.
+        assert_eq!(Metric::Euclidean.distance(&a, &b), 5.0);
+        assert_eq!(Metric::Euclidean.distance(&a, &c), 20.0);
+        assert_eq!(Metric::Euclidean.distance(&b, &c), 13.0);
+        assert_eq!(Metric::Euclidean.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_one_minus_similarity() {
+        let (a, b, c) = fixture();
+        // a ⊥ b ⇒ cos = 0 ⇒ distance 1.
+        assert_eq!(Metric::Cosine.distance(&a, &b), 1.0);
+        // cos(a, c) = 3 / (1·5) = 0.6; cos(b, c) = 8 / (2·5) = 0.8.
+        assert!((Metric::Cosine.distance(&a, &c) - 0.4).abs() < 1e-6);
+        assert!((Metric::Cosine.distance(&b, &c) - 0.2).abs() < 1e-6);
+        assert!(Metric::Cosine.distance(&a, &a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_is_maximally_far_under_cosine() {
+        let (a, _, _) = fixture();
+        let z = Embedding::zeros(2);
+        assert_eq!(Metric::Cosine.distance(&a, &z), 1.0);
+        assert_eq!(Metric::Cosine.distance(&z, &z), 1.0);
+    }
+
+    #[test]
+    fn metrics_rank_neighbours_differently() {
+        // Under Euclidean, (10,0) is far from (1,0); under cosine they are
+        // identical directions — the contract-drift case the blocker hit.
+        let q = Embedding(vec![1.0, 0.0]);
+        let scaled = Embedding(vec![10.0, 0.0]);
+        let nearby = Embedding(vec![1.0, 1.0]);
+        assert!(Metric::Euclidean.distance(&q, &scaled) > Metric::Euclidean.distance(&q, &nearby));
+        assert!(Metric::Cosine.distance(&q, &scaled) < Metric::Cosine.distance(&q, &nearby));
+    }
+}

@@ -1,6 +1,8 @@
 //! Quickstart: pre-train the static model zoo, embed a pair of dirty
 //! duplicates with each model and print the cosine similarities — the
-//! FastText-vs-GloVe typo contrast of the paper's Fig. 3 in miniature.
+//! FastText-vs-GloVe typo contrast of the paper's Fig. 3 in miniature —
+//! then run the blocking stage: generate the D1 Clean-Clean analogue and
+//! block it with each ANN backend, reporting pairs-completeness.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -36,4 +38,61 @@ fn main() {
     }
     println!("\nFastText embeds the typo'd word via its char-n-gram buckets;");
     println!("Word2Vec and GloVe drop every OOV token on the floor (cosine 0).");
+
+    // Stage 2 — blocking. Generate the D1 restaurant analogue (known
+    // ground truth), vectorize with FastText, and compare the exact scan
+    // against both approximate indices at k = 10.
+    let ds = CleanCleanDataset::generate(DatasetId::D1, 42);
+    let ft = zoo.get(ModelCode::FT);
+    let cross = ds.id.profile().cross_product();
+    println!(
+        "\nblocking {} ({}x{} records, {} true matches, {} cross-product pairs):",
+        ds.id,
+        ds.left.len(),
+        ds.right.len(),
+        ds.ground_truth.len(),
+        cross
+    );
+    println!("\n  backend           pairs-completeness   candidates  % of cross-product");
+    let backends: [(&str, BlockerBackend); 3] = [
+        ("exact (cosine)", BlockerBackend::Exact(Metric::Cosine)),
+        (
+            "hnsw (cosine)",
+            BlockerBackend::Hnsw(HnswConfig {
+                metric: Metric::Cosine,
+                ..HnswConfig::default()
+            }),
+        ),
+        (
+            "hyperplane lsh",
+            BlockerBackend::Lsh(LshConfig {
+                tables: 16,
+                probes: 4,
+                ..LshConfig::default()
+            }),
+        ),
+    ];
+    for (name, backend) in backends {
+        let config = TopKConfig {
+            k: 10,
+            backend,
+            dirty: false,
+        };
+        let candidates = block(
+            ft.as_ref(),
+            &ds.left,
+            &ds.right,
+            &SerializationMode::SchemaAgnostic,
+            &config,
+        );
+        let metrics = Metrics::of_candidates(&candidates, &ds.ground_truth);
+        println!(
+            "  {name:<17} {:.3}                {:>6}      {:>5.1}%",
+            metrics.recall,
+            candidates.len(),
+            100.0 * candidates.len() as f64 / cross as f64
+        );
+    }
+    println!("\nTop-10 blocking keeps pairs-completeness near 1 while pruning");
+    println!("~90% of the cross-product — the paper's Fig. 3/12 trade-off.");
 }

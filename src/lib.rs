@@ -4,8 +4,9 @@
 //! system inventory and ROADMAP.md for what has landed.
 //!
 //! The facade re-exports every subsystem crate and offers a [`prelude`]
-//! plus the first stage of the paper's Figure 1 pipeline: vectorization
-//! ([`vectorize`]) over a pre-trained [`ModelZoo`].
+//! plus the first two stages of the paper's Figure 1 pipeline:
+//! vectorization ([`vectorize`]) over a pre-trained [`ModelZoo`] and
+//! embedding top-k blocking ([`block`]) over the ANN indices.
 //!
 //! ```
 //! use embeddings4er::prelude::*;
@@ -26,22 +27,27 @@ pub use er_matching as matching;
 pub use er_tensor as tensor;
 pub use er_text as text;
 
-use er_core::{Embedding, Entity, SerializationMode};
+use er_blocking::TopKConfig;
+use er_core::{Embedding, Entity, EntityId, SerializationMode};
 use er_embed::LanguageModel;
 
 /// Everything needed to drive the pipeline end to end.
 pub mod prelude {
+    pub use er_blocking::{dedup_candidates, top_k_blocking, BlockerBackend, TopKConfig};
     pub use er_core::rng::rng;
     pub use er_core::{
         Embedding, Entity, EntityId, ErError, GroundTruth, Result, ScoredPair, SerializationMode,
     };
+    pub use er_datasets::{CleanCleanDataset, DatasetId, DatasetProfile};
     pub use er_embed::{AnyModel, LanguageModel, ModelCode, ModelZoo, ZooConfig};
     pub use er_eval::Metrics;
-    pub use er_index::{ExactIndex, NnIndex};
+    pub use er_index::{
+        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex,
+    };
     pub use er_text::corpus::synthetic_corpus;
     pub use er_text::{normalize, tokenize, Corpus};
 
-    pub use crate::vectorize;
+    pub use crate::{block, vectorize};
 }
 
 pub use er_embed::{ModelCode, ModelZoo, ZooConfig};
@@ -57,6 +63,24 @@ pub fn vectorize(
         .iter()
         .map(|e| model.embed(&e.serialize(mode)))
         .collect()
+}
+
+/// Figure 1, stage 2: vectorize both collections under `mode` and run the
+/// embedding top-k blocker — index the right side, query with the left,
+/// return deduplicated `(left id, right id)` candidate pairs. For Dirty ER
+/// pass the same collection twice with `config.dirty = true`.
+pub fn block(
+    model: &dyn LanguageModel,
+    left: &[Entity],
+    right: &[Entity],
+    mode: &SerializationMode,
+    config: &TopKConfig,
+) -> Vec<(EntityId, EntityId)> {
+    let left_vectors = vectorize(model, left, mode);
+    let right_vectors = vectorize(model, right, mode);
+    let left_ids: Vec<EntityId> = left.iter().map(|e| e.id).collect();
+    let right_ids: Vec<EntityId> = right.iter().map(|e| e.id).collect();
+    er_blocking::top_k_blocking(&left_ids, &left_vectors, &right_ids, &right_vectors, config)
 }
 
 #[cfg(test)]

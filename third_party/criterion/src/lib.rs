@@ -6,9 +6,10 @@
 //! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros) with plain wall-clock
 //! timing: a short warm-up, then `sample_size` timed batches, reporting
-//! min / mean / max per iteration to stdout. When invoked by `cargo test`
-//! (the harness passes `--test`), each benchmark body runs exactly once so
-//! test runs stay fast.
+//! min / mean / max per iteration to stdout. As with real criterion, full
+//! sampling only happens under `cargo bench` (which passes `--bench` to the
+//! binary); under `cargo test` — no `--bench`, or an explicit `--test` —
+//! each benchmark body runs exactly once so test runs stay fast.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -22,8 +23,20 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { test_mode }
+        // Mirror real criterion: `cargo bench` passes `--bench` to the
+        // binary; anything else (notably `cargo test`) is test mode.
+        let mut bench_mode = false;
+        let mut test_mode = false;
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => test_mode = true,
+                _ => {}
+            }
+        }
+        Criterion {
+            test_mode: test_mode || !bench_mode,
+        }
     }
 }
 
