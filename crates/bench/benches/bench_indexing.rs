@@ -1,14 +1,20 @@
 //! Criterion micro-benchmarks behind Figures 12/13: NNS index build and
 //! query cost — exact scan vs HNSW vs hyperplane LSH — plus the HNSW
-//! parameter ablation (efSearch sweep) called out in DESIGN.md §5.
+//! parameter ablation (efSearch sweep) called out in DESIGN.md §5, the
+//! columnar-vs-per-vector exact-scan comparison backing the
+//! `EmbeddingMatrix` refactor, and the end-to-end `Pipeline::block` run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embeddings4er::prelude::Pipeline;
+use er_blocking::{BlockerBackend, TopKConfig};
 use er_core::rng::rng;
-use er_core::Embedding;
+use er_core::{Embedding, EmbeddingMatrix, SerializationMode};
+use er_datasets::{CleanCleanDataset, DatasetId};
+use er_embed::{ModelCode, ModelZoo, ZooConfig};
 use er_index::exact::ExactIndex;
 use er_index::hnsw::{HnswConfig, HnswIndex};
 use er_index::lsh::{HyperplaneLsh, LshConfig};
-use er_index::NnIndex;
+use er_index::{Metric, NnIndex};
 use rand::Rng;
 use std::hint::black_box;
 
@@ -126,12 +132,91 @@ fn bench_dimension_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-refactor exact index, kept verbatim as the baseline: one heap
+/// allocation per stored vector, distances recomputing both norms on
+/// every comparison.
+struct PerVecScan {
+    vectors: Vec<Embedding>,
+    metric: Metric,
+}
+
+impl PerVecScan {
+    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+        let mut hits: Vec<(usize, f32)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, self.metric.distance(query, v)))
+            .collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// The acceptance claim of the columnar refactor: the contiguous
+/// `EmbeddingMatrix` scan with prenormed cosine must be no slower than the
+/// per-`Vec<Embedding>` scan it replaced.
+fn bench_matrix_vs_pervec_scan(c: &mut Criterion) {
+    let vectors = random_vectors(1_500, 64, 12);
+    let queries = random_vectors(16, 64, 13);
+    let matrix = EmbeddingMatrix::from_embeddings(&vectors);
+    let mut group = c.benchmark_group("exact_scan_matrix_vs_pervec");
+    for metric in [Metric::Cosine, Metric::Euclidean] {
+        let per_vec = PerVecScan {
+            vectors: vectors.clone(),
+            metric,
+        };
+        let columnar = ExactIndex::from_matrix(&matrix, metric);
+        group.bench_function(BenchmarkId::new("per_vec", format!("{metric:?}")), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(per_vec.search(q, 10));
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("matrix", format!("{metric:?}")), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(columnar.search(q, 10));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end `Pipeline::block` on D1 — vectorize both sides once into
+/// matrices, HNSW top-10 blocking, stage report included.
+fn bench_pipeline_block_d1(c: &mut Criterion) {
+    let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), 42);
+    let model = zoo.get(ModelCode::FT);
+    let ds = CleanCleanDataset::generate(DatasetId::D1, 42);
+    let config = TopKConfig {
+        k: 10,
+        backend: BlockerBackend::Hnsw(HnswConfig {
+            metric: Metric::Cosine,
+            ..HnswConfig::default()
+        }),
+        dirty: false,
+    };
+    let pipeline = Pipeline::new(model.as_ref(), SerializationMode::SchemaAgnostic);
+    let mut group = c.benchmark_group("pipeline_block_d1_e2e");
+    group.sample_size(10);
+    group.bench_function("fasttext_hnsw_k10", |b| {
+        b.iter(|| black_box(pipeline.block(&ds.left, &ds.right, &config)));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_build,
     bench_query,
     bench_batched_search,
     bench_hnsw_ablation,
-    bench_dimension_ablation
+    bench_dimension_ablation,
+    bench_matrix_vs_pervec_scan,
+    bench_pipeline_block_d1
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 
 pub mod topk;
 
-pub use topk::{top_k_blocking, BlockerBackend, TopKConfig};
+pub use topk::{top_k_blocking, top_k_blocking_matrix, BlockerBackend, TopKConfig};
 
 use er_core::EntityId;
 

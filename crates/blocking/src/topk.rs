@@ -3,12 +3,17 @@
 //! embedding, and keep every `(query, neighbour)` pair as a candidate —
 //! the paper's Fig. 3 blocking recipe (DeepER lineage, §4.3).
 //!
-//! Candidate retrieval uses [`NnIndex::search_batch`], so blocking a whole
-//! collection fans out over a scoped-thread worker pool while staying
-//! bit-identical to sequential search.
+//! The native storage is the columnar [`EmbeddingMatrix`]:
+//! [`top_k_blocking_matrix`] builds the chosen index *borrowing* the right
+//! side (zero-copy) and batch-queries it with the left side's rows via
+//! [`NnIndex::search_batch_rows`], fanning out over a scoped-thread worker
+//! pool while staying bit-identical to sequential search. The legacy
+//! [`top_k_blocking`] entry point copies each `Vec<Embedding>` into a
+//! matrix once and funnels into the same code path, so both produce
+//! byte-identical candidates.
 
 use crate::dedup_candidates;
-use er_core::{Embedding, EntityId};
+use er_core::{Embedding, EmbeddingMatrix, EntityId};
 use er_index::{ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex};
 
 /// Which index serves the k-NN queries.
@@ -47,8 +52,9 @@ impl Default for TopKConfig {
     }
 }
 
-/// Run top-k blocking: index `right`, query every `left` embedding, and
-/// return the deduplicated candidate pairs `(left id, right id)`.
+/// Run top-k blocking over legacy per-entity embeddings: each side is
+/// copied once into an [`EmbeddingMatrix`] and handed to
+/// [`top_k_blocking_matrix`], whose candidates it returns unchanged.
 ///
 /// For Dirty ER pass the same collection as both sides with
 /// `config.dirty = true`; self-matches are removed by the dedup pass.
@@ -59,38 +65,49 @@ pub fn top_k_blocking(
     right_vectors: &[Embedding],
     config: &TopKConfig,
 ) -> Vec<(EntityId, EntityId)> {
-    assert_eq!(
-        left_ids.len(),
-        left_vectors.len(),
-        "left ids/vectors differ"
-    );
-    assert_eq!(
-        right_ids.len(),
-        right_vectors.len(),
-        "right ids/vectors differ"
-    );
+    top_k_blocking_matrix(
+        left_ids,
+        &EmbeddingMatrix::from_embeddings(left_vectors),
+        right_ids,
+        &EmbeddingMatrix::from_embeddings(right_vectors),
+        config,
+    )
+}
+
+/// Run top-k blocking over columnar storage: index `right` (borrowed,
+/// zero-copy), batch-query it with every row of `left`, and return the
+/// deduplicated candidate pairs `(left id, right id)`.
+pub fn top_k_blocking_matrix(
+    left_ids: &[EntityId],
+    left: &EmbeddingMatrix,
+    right_ids: &[EntityId],
+    right: &EmbeddingMatrix,
+    config: &TopKConfig,
+) -> Vec<(EntityId, EntityId)> {
+    assert_eq!(left_ids.len(), left.len(), "left ids/vectors differ");
+    assert_eq!(right_ids.len(), right.len(), "right ids/vectors differ");
     if left_ids.is_empty() || right_ids.is_empty() || config.k == 0 {
         return Vec::new();
     }
     match &config.backend {
         BlockerBackend::Exact(metric) => query_all(
-            &ExactIndex::with_metric(right_vectors, *metric),
+            &ExactIndex::from_matrix(right, *metric),
             left_ids,
-            left_vectors,
+            left,
             right_ids,
             config,
         ),
         BlockerBackend::Hnsw(hnsw) => query_all(
-            &HnswIndex::build(right_vectors, hnsw.clone()),
+            &HnswIndex::from_matrix(right, hnsw.clone()),
             left_ids,
-            left_vectors,
+            left,
             right_ids,
             config,
         ),
         BlockerBackend::Lsh(lsh) => query_all(
-            &HyperplaneLsh::build(right_vectors, lsh.clone()),
+            &HyperplaneLsh::from_matrix(right, lsh.clone()),
             left_ids,
-            left_vectors,
+            left,
             right_ids,
             config,
         ),
@@ -100,11 +117,11 @@ pub fn top_k_blocking(
 fn query_all<I: NnIndex + Sync>(
     index: &I,
     left_ids: &[EntityId],
-    left_vectors: &[Embedding],
+    left: &EmbeddingMatrix,
     right_ids: &[EntityId],
     config: &TopKConfig,
 ) -> Vec<(EntityId, EntityId)> {
-    let hits = index.search_batch(left_vectors, config.k);
+    let hits = index.search_batch_rows(left, config.k);
     let pairs = hits.into_iter().enumerate().flat_map(|(i, neighbours)| {
         neighbours
             .into_iter()
@@ -202,6 +219,32 @@ mod tests {
         assert!(candidates.iter().all(|(a, b)| a < b), "{candidates:?}");
         assert!(candidates.contains(&(EntityId(0), EntityId(1))));
         assert!(candidates.contains(&(EntityId(2), EntityId(3))));
+    }
+
+    #[test]
+    fn matrix_path_and_legacy_path_emit_identical_candidates() {
+        let (left, right) = clustered();
+        let left_matrix = EmbeddingMatrix::from_embeddings(&left);
+        let right_matrix = EmbeddingMatrix::from_embeddings(&right);
+        let backends = [
+            BlockerBackend::Exact(Metric::Cosine),
+            BlockerBackend::Hnsw(HnswConfig::default()),
+            BlockerBackend::Lsh(LshConfig {
+                tables: 4,
+                ..LshConfig::default()
+            }),
+        ];
+        for backend in backends {
+            let config = TopKConfig {
+                k: 2,
+                backend,
+                dirty: false,
+            };
+            let legacy = top_k_blocking(&ids(3), &left, &ids(3), &right, &config);
+            let matrix =
+                top_k_blocking_matrix(&ids(3), &left_matrix, &ids(3), &right_matrix, &config);
+            assert_eq!(legacy, matrix, "{:?}", config.backend);
+        }
     }
 
     #[test]

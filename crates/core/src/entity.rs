@@ -81,22 +81,17 @@ impl Embedding {
 
     pub fn dot(&self, other: &Embedding) -> f32 {
         debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+        crate::kernels::dot(&self.0, &other.0)
     }
 
     pub fn norm(&self) -> f32 {
-        self.dot(self).sqrt()
+        crate::kernels::norm(&self.0)
     }
 
     /// Cosine similarity; zero vectors yield 0.0 (the paper's convention for
     /// models that cannot embed a record, e.g. GloVe on all-OOV input).
     pub fn cosine(&self, other: &Embedding) -> f32 {
-        let denom = self.norm() * other.norm();
-        if denom == 0.0 {
-            0.0
-        } else {
-            self.dot(other) / denom
-        }
+        crate::kernels::cosine(&self.0, &other.0)
     }
 
     pub fn is_finite(&self) -> bool {

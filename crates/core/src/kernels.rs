@@ -1,0 +1,116 @@
+//! The single home of the dense distance kernels.
+//!
+//! Every similarity the pipeline computes — the indices' search distances,
+//! the blocker's top-k ranking, the matchers' embedding features — reduces
+//! to three slice operations: dot product, (squared) Euclidean distance and
+//! cosine. Before this module they were re-implemented per crate
+//! (`Embedding::dot`, `er_index::Metric`, the LSH signature loop), which is
+//! how kernel drift starts; now `er-index`, `er-matching` and `er-tensor`
+//! all call these functions, and the accumulation order is fixed (a plain
+//! left-to-right fold) so results are bit-identical wherever they are
+//! computed.
+//!
+//! The `_prenorm` variants take cached norms — the point of
+//! [`crate::EmbeddingMatrix`]'s precomputed row norms: cosine against a
+//! stored row touches the row once for the dot product instead of twice.
+
+/// Left-to-right dot product. Accumulation order is part of the contract:
+/// it matches what `a.iter().zip(b).map(|(x, y)| x * y).sum()` produced
+/// before this module existed, so cached and recomputed paths agree bitwise.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `Σ aᵢ²` — the dot of a slice with itself.
+#[inline]
+pub fn squared_norm(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+/// Euclidean norm `‖a‖`.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    squared_norm(a).sqrt()
+}
+
+/// Squared Euclidean distance `‖a − b‖²` (monotone in Euclidean, cheaper —
+/// the FAISS convention the blocking code relies on).
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "squared_euclidean: dimension mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Cosine similarity with both norms recomputed; zero vectors yield 0.0
+/// (the paper's convention for models that cannot embed a record, e.g.
+/// GloVe on all-OOV input).
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    cosine_prenorm(a, norm(a), b, norm(b))
+}
+
+/// Cosine similarity with caller-supplied norms — the cached-norm fast
+/// path. Passing `norm(a)`/`norm(b)` makes it bit-identical to [`cosine`];
+/// the denominator is the same `‖a‖·‖b‖` product either way.
+#[inline]
+pub fn cosine_prenorm(a: &[f32], a_norm: f32, b: &[f32], b_norm: f32) -> f32 {
+    let denom = a_norm * b_norm;
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_the_iterator_fold_bitwise() {
+        // The exact expression the kernels replaced, on awkward values
+        // where f32 addition order matters.
+        let a = [1.0e7f32, 1.0, -1.0e7, 0.25, 3.5e-4];
+        let b = [0.3f32, 1.0e7, 0.3, -4.0, 7.0];
+        let folded: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot(&a, &b).to_bits(), folded.to_bits());
+    }
+
+    #[test]
+    fn squared_euclidean_matches_hand_fixture() {
+        // a = (1,0), b = (0,2), c = (3,4).
+        assert_eq!(squared_euclidean(&[1.0, 0.0], &[0.0, 2.0]), 5.0);
+        assert_eq!(squared_euclidean(&[1.0, 0.0], &[3.0, 4.0]), 20.0);
+        assert_eq!(squared_euclidean(&[0.0, 2.0], &[3.0, 4.0]), 13.0);
+        assert_eq!(squared_euclidean(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_handles_zero_vectors_and_matches_prenorm() {
+        let a = [1.0f32, 0.0];
+        let c = [3.0f32, 4.0];
+        assert_eq!(cosine(&[0.0, 0.0], &a), 0.0);
+        assert!((cosine(&a, &c) - 0.6).abs() < 1e-6);
+        let pre = cosine_prenorm(&a, norm(&a), &c, norm(&c));
+        assert_eq!(cosine(&a, &c).to_bits(), pre.to_bits());
+    }
+
+    #[test]
+    fn norm_is_sqrt_of_squared_norm() {
+        let v = [3.0f32, 4.0];
+        assert_eq!(squared_norm(&v), 25.0);
+        assert_eq!(norm(&v), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+}

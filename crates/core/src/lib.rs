@@ -2,15 +2,20 @@
 //! (DESIGN.md inventory row 26 feeds off it; every other crate imports it).
 //!
 //! Provides the entity model ([`Entity`], [`EntityId`], [`SerializationMode`]),
-//! the vector type every language model emits ([`Embedding`]), evaluation
-//! primitives ([`GroundTruth`], [`ScoredPair`]), the workspace error type
-//! ([`ErError`]), a portable seeded RNG ([`rng::rng`]) and a dependency-free
-//! JSON reader/writer ([`json`]) used for model persistence.
+//! the vector type every language model emits ([`Embedding`]), the columnar
+//! collection storage the pipeline trades in ([`EmbeddingMatrix`] with the
+//! [`VectorSource`] seam), the shared distance kernels ([`kernels`]),
+//! evaluation primitives ([`GroundTruth`], [`ScoredPair`]), the workspace
+//! error type ([`ErError`]), a portable seeded RNG ([`rng::rng`]) and a
+//! dependency-free JSON reader/writer ([`json`]) used for model persistence.
 
 pub mod entity;
 pub mod error;
 pub mod json;
+pub mod kernels;
+pub mod matrix;
 pub mod rng;
 
 pub use entity::{Embedding, Entity, EntityId, GroundTruth, ScoredPair, SerializationMode};
 pub use error::{ErError, Result};
+pub use matrix::{EmbeddingMatrix, VectorSource, VectorStore};

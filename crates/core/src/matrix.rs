@@ -1,0 +1,282 @@
+//! Columnar embedding storage: one contiguous `Vec<f32>` for a whole
+//! collection instead of one heap allocation per 48-d vector.
+//!
+//! [`EmbeddingMatrix`] is the storage format of the vectorize → index →
+//! block pipeline: the facade's matrix vectorizer fills it once per
+//! collection, the `er-index` structures borrow it (never clone — see
+//! [`VectorStore`]), and the blocker queries it row by row. Row norms are
+//! precomputed at insertion, so cosine distances against stored rows touch
+//! each row exactly once.
+//!
+//! Conversion from and to `Vec<Embedding>` is bit-exact in both directions:
+//! the matrix is the same floats laid out contiguously, and its cached
+//! norms are computed with the same kernel `Embedding::norm` uses.
+
+use crate::kernels;
+use crate::{Embedding, ErError, Result};
+
+/// A dense row-major `rows × dim` matrix of embeddings with precomputed
+/// per-row Euclidean norms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EmbeddingMatrix {
+    dim: usize,
+    data: Vec<f32>,
+    norms: Vec<f32>,
+}
+
+impl EmbeddingMatrix {
+    /// An empty matrix whose future rows have `dim` components.
+    pub fn new(dim: usize) -> EmbeddingMatrix {
+        EmbeddingMatrix {
+            dim,
+            data: Vec::new(),
+            norms: Vec::new(),
+        }
+    }
+
+    /// An empty matrix with capacity for `rows` rows of `dim` components.
+    pub fn with_capacity(dim: usize, rows: usize) -> EmbeddingMatrix {
+        EmbeddingMatrix {
+            dim,
+            data: Vec::with_capacity(dim * rows),
+            norms: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Wrap a flat row-major buffer. Fails if `data` is not a whole number
+    /// of `dim`-sized rows (a `dim` of 0 only admits the empty buffer).
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<EmbeddingMatrix> {
+        if dim == 0 && !data.is_empty() {
+            return Err(ErError::Parse(
+                "EmbeddingMatrix: non-empty data with dim 0".into(),
+            ));
+        }
+        if dim != 0 && !data.len().is_multiple_of(dim) {
+            return Err(ErError::Parse(format!(
+                "EmbeddingMatrix: {} floats is not a multiple of dim {dim}",
+                data.len()
+            )));
+        }
+        let norms = data.chunks_exact(dim.max(1)).map(kernels::norm).collect();
+        Ok(EmbeddingMatrix { dim, data, norms })
+    }
+
+    /// Copy a `Vec<Embedding>` into contiguous storage, bit-exactly.
+    ///
+    /// The dimension is taken from the first embedding (0 when empty).
+    /// Panics on ragged input — mixed dimensions in one collection are a
+    /// construction bug upstream, not a runtime condition.
+    pub fn from_embeddings(embeddings: &[Embedding]) -> EmbeddingMatrix {
+        let dim = embeddings.first().map(Embedding::dim).unwrap_or(0);
+        let mut matrix = EmbeddingMatrix::with_capacity(dim, embeddings.len());
+        for e in embeddings {
+            matrix.push(e.as_slice());
+        }
+        matrix
+    }
+
+    /// Append one row. Panics if `row.len() != dim`.
+    pub fn push(&mut self, row: &[f32]) {
+        assert_eq!(
+            row.len(),
+            self.dim,
+            "EmbeddingMatrix: pushed a {}-d row into a {}-d matrix",
+            row.len(),
+            self.dim
+        );
+        self.data.extend_from_slice(row);
+        self.norms.push(kernels::norm(row));
+    }
+
+    /// Expand back into one `Embedding` per row — the bit-exact inverse of
+    /// [`EmbeddingMatrix::from_embeddings`].
+    pub fn to_embeddings(&self) -> Vec<Embedding> {
+        self.rows_iter().map(|r| Embedding(r.to_vec())).collect()
+    }
+
+    /// Components per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `i` as a slice view into the contiguous buffer.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Precomputed Euclidean norm of row `i` (bit-identical to
+    /// `kernels::norm(self.row(i))`).
+    #[inline]
+    pub fn norm(&self, i: usize) -> f32 {
+        self.norms[i]
+    }
+
+    /// The full flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// All precomputed row norms, in row order.
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// Iterate over the rows as slices.
+    pub fn rows_iter(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        // `chunks_exact(0)` panics, so pin the empty case explicitly.
+        self.data.chunks_exact(self.dim.max(1)).take(self.len())
+    }
+}
+
+impl From<&[Embedding]> for EmbeddingMatrix {
+    fn from(embeddings: &[Embedding]) -> EmbeddingMatrix {
+        EmbeddingMatrix::from_embeddings(embeddings)
+    }
+}
+
+impl From<&EmbeddingMatrix> for Vec<Embedding> {
+    fn from(matrix: &EmbeddingMatrix) -> Vec<Embedding> {
+        matrix.to_embeddings()
+    }
+}
+
+/// How an index holds its vectors: either it owns a matrix (built from a
+/// legacy `Vec<Embedding>` constructor) or it borrows one built upstream —
+/// the zero-copy contract. Indices never clone a borrowed matrix.
+#[derive(Debug, Clone)]
+pub enum VectorStore<'a> {
+    Owned(EmbeddingMatrix),
+    Borrowed(&'a EmbeddingMatrix),
+}
+
+impl VectorStore<'_> {
+    /// The stored matrix, wherever it lives.
+    #[inline]
+    pub fn matrix(&self) -> &EmbeddingMatrix {
+        match self {
+            VectorStore::Owned(m) => m,
+            VectorStore::Borrowed(m) => m,
+        }
+    }
+}
+
+impl std::ops::Deref for VectorStore<'_> {
+    type Target = EmbeddingMatrix;
+
+    fn deref(&self) -> &EmbeddingMatrix {
+        self.matrix()
+    }
+}
+
+/// Anything an index can be built from. The seam that lets the
+/// `Vec<Embedding>` constructors keep working while the pipeline hands the
+/// same index a borrowed [`EmbeddingMatrix`] without copying a float.
+pub trait VectorSource<'a> {
+    fn into_store(self) -> VectorStore<'a>;
+}
+
+/// Zero-copy: the index borrows the caller's matrix.
+impl<'a> VectorSource<'a> for &'a EmbeddingMatrix {
+    fn into_store(self) -> VectorStore<'a> {
+        VectorStore::Borrowed(self)
+    }
+}
+
+/// The index takes ownership of an already-built matrix.
+impl<'a> VectorSource<'a> for EmbeddingMatrix {
+    fn into_store(self) -> VectorStore<'a> {
+        VectorStore::Owned(self)
+    }
+}
+
+/// Legacy path: per-entity embeddings are copied once into a fresh owned
+/// matrix (the same single copy the old `Vec<Embedding>` storage made).
+impl<'a> VectorSource<'a> for &[Embedding] {
+    fn into_store(self) -> VectorStore<'a> {
+        VectorStore::Owned(EmbeddingMatrix::from_embeddings(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embeddings() -> Vec<Embedding> {
+        vec![
+            Embedding(vec![1.0, 0.0, 2.5]),
+            Embedding(vec![-3.0, 4.0, 0.0]),
+            Embedding(vec![0.0, 0.0, 0.0]),
+        ]
+    }
+
+    #[test]
+    fn round_trips_embeddings_bit_exactly() {
+        let original = embeddings();
+        let matrix = EmbeddingMatrix::from_embeddings(&original);
+        assert_eq!((matrix.len(), matrix.dim()), (3, 3));
+        assert_eq!(matrix.to_embeddings(), original);
+        for (i, e) in original.iter().enumerate() {
+            assert_eq!(matrix.row(i), e.as_slice());
+            assert_eq!(matrix.norm(i).to_bits(), e.norm().to_bits());
+        }
+    }
+
+    #[test]
+    fn norms_are_cached_at_push_time() {
+        let mut matrix = EmbeddingMatrix::new(2);
+        matrix.push(&[3.0, 4.0]);
+        matrix.push(&[0.0, 0.0]);
+        assert_eq!(matrix.norms(), &[5.0, 0.0]);
+        assert_eq!(matrix.norm(0), 5.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        let empty = EmbeddingMatrix::from_embeddings(&[]);
+        assert!(empty.is_empty());
+        assert_eq!((empty.len(), empty.dim()), (0, 0));
+        assert!(empty.to_embeddings().is_empty());
+        assert_eq!(empty.rows_iter().count(), 0);
+
+        let zero_rows = EmbeddingMatrix::new(4);
+        assert_eq!(zero_rows.len(), 0);
+        assert!(zero_rows.is_empty());
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        let ok = EmbeddingMatrix::from_flat(2, vec![1.0, 0.0, 3.0, 4.0]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.norms(), &[1.0, 5.0]);
+        assert!(EmbeddingMatrix::from_flat(3, vec![1.0; 4]).is_err());
+        assert!(EmbeddingMatrix::from_flat(0, vec![1.0]).is_err());
+        assert!(EmbeddingMatrix::from_flat(0, vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed a 2-d row into a 3-d matrix")]
+    fn push_rejects_ragged_rows() {
+        let mut matrix = EmbeddingMatrix::new(3);
+        matrix.push(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn vector_store_derefs_to_the_same_matrix() {
+        let matrix = EmbeddingMatrix::from_embeddings(&embeddings());
+        let borrowed = (&matrix).into_store();
+        assert_eq!(borrowed.matrix(), &matrix);
+        assert_eq!(borrowed.row(1), matrix.row(1));
+        let owned = embeddings().as_slice().into_store();
+        assert_eq!(owned.matrix(), &matrix);
+    }
+}

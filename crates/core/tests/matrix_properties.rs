@@ -1,0 +1,51 @@
+//! Property tests for the columnar refactor's conversion contract:
+//! `Vec<Embedding> -> EmbeddingMatrix -> Vec<Embedding>` is the identity
+//! down to the bit, for arbitrary shapes including zero rows — and the
+//! matrix's cached norms are bit-identical to `Embedding::norm`, so the
+//! prenorm cosine path can never drift from the recomputed one.
+
+use er_core::rng::rng;
+use er_core::{Embedding, EmbeddingMatrix};
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    fn round_trip_is_bit_identical(rows in 0..40usize, dim in 1..48usize, seed in 0..1_000_000u64) {
+        let mut r = rng(seed);
+        let original: Vec<Embedding> = (0..rows)
+            .map(|_| Embedding((0..dim).map(|_| r.gen_range(-8.0f32..8.0)).collect()))
+            .collect();
+        let matrix = EmbeddingMatrix::from_embeddings(&original);
+        assert_eq!(matrix.len(), rows);
+        let back = matrix.to_embeddings();
+        assert_eq!(back.len(), original.len());
+        for (i, (a, b)) in original.iter().zip(&back).enumerate() {
+            assert_eq!(a.dim(), b.dim());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {i} drifted");
+            }
+            assert_eq!(
+                matrix.norm(i).to_bits(),
+                a.norm().to_bits(),
+                "cached norm of row {i} drifted"
+            );
+            assert_eq!(matrix.row(i), a.as_slice());
+        }
+    }
+}
+
+#[test]
+fn round_trip_preserves_special_float_values() {
+    // Signed zeros and subnormals must survive the copy bit-for-bit;
+    // `assert_eq!` on f32 treats -0.0 == 0.0, so compare bits.
+    let original = vec![
+        Embedding(vec![0.0, -0.0, f32::MIN_POSITIVE]),
+        Embedding(vec![f32::MAX, f32::MIN, 1.0e-40]),
+    ];
+    let back = EmbeddingMatrix::from_embeddings(&original).to_embeddings();
+    for (a, b) in original.iter().zip(&back) {
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -129,6 +129,18 @@ pub trait LanguageModel: Send + Sync {
     fn dim(&self) -> usize;
     fn init_time(&self) -> Duration;
     fn embed(&self, text: &str) -> Embedding;
+
+    /// Embed `text` directly into a caller-provided row of length
+    /// [`LanguageModel::dim`] — the hook the columnar
+    /// `er_core::EmbeddingMatrix` pipeline fills rows through without an
+    /// intermediate allocation per entity. The default delegates to
+    /// [`LanguageModel::embed`]; models that can write in place may
+    /// override it.
+    fn embed_into(&self, text: &str, out: &mut [f32]) {
+        let e = self.embed(text);
+        debug_assert_eq!(e.dim(), out.len(), "embed_into row/dim mismatch");
+        out.copy_from_slice(e.as_slice());
+    }
 }
 
 /// Mean-pool a set of token vectors into one sentence embedding; an empty

@@ -2,8 +2,13 @@
 //! precision / F1, Pearson, rankings, discriminativeness histograms,
 //! timers, report writers).
 //!
-//! This PR ships the core [`Metrics`] triple every experiment reports;
+//! This PR ships the core [`Metrics`] triple every experiment reports and
+//! the per-stage [`StageReport`] timers the facade `Pipeline` fills in;
 //! statistics and report writers land with the experiment-binary PR.
+
+pub mod report;
+
+pub use report::{StageReport, StageStats};
 
 use er_core::{EntityId, GroundTruth, ScoredPair};
 

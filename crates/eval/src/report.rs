@@ -1,0 +1,130 @@
+//! Per-stage pipeline instrumentation (DESIGN.md inventory row 25's
+//! timers): the facade `Pipeline` records one [`StageStats`] entry per
+//! stage — vectorize left, vectorize right, block — into a
+//! [`StageReport`], giving every experiment the paper's Table 4-style
+//! wall-clock split plus candidate counts without ad-hoc `Instant`
+//! plumbing at call sites.
+
+use std::time::Duration;
+
+/// One pipeline stage: what ran, how long it took, and how many items
+/// (entities embedded, candidate pairs emitted, …) it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    pub stage: String,
+    pub wall: Duration,
+    /// Stage-defined item count — rows written for vectorization stages,
+    /// candidate pairs for blocking.
+    pub items: usize,
+}
+
+/// An append-only log of [`StageStats`], in execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageReport {
+    stages: Vec<StageStats>,
+}
+
+impl StageReport {
+    pub fn new() -> StageReport {
+        StageReport::default()
+    }
+
+    /// Append a stage entry.
+    pub fn record(&mut self, stage: impl Into<String>, wall: Duration, items: usize) {
+        self.stages.push(StageStats {
+            stage: stage.into(),
+            wall,
+            items,
+        });
+    }
+
+    /// Run `f`, timing it, and record the stage with the item count `f`
+    /// reports alongside its result.
+    pub fn time<T>(&mut self, stage: impl Into<String>, f: impl FnOnce() -> (T, usize)) -> T {
+        let start = std::time::Instant::now();
+        let (value, items) = f();
+        self.record(stage, start.elapsed(), items);
+        value
+    }
+
+    /// All recorded stages, in execution order.
+    pub fn stages(&self) -> &[StageStats] {
+        &self.stages
+    }
+
+    /// The first stage recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Sum of all stage wall-clocks.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl std::fmt::Display for StageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<24} {:>10.3?}  {:>10} items",
+                s.stage, s.wall, s.items
+            )?;
+        }
+        write!(f, "{:<24} {:>10.3?}", "total", self.total_wall())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_stages_in_order_and_sums_wall_clock() {
+        let mut report = StageReport::new();
+        report.record("vectorize-left", Duration::from_millis(30), 100);
+        report.record("vectorize-right", Duration::from_millis(20), 80);
+        report.record("block", Duration::from_millis(5), 412);
+        assert_eq!(
+            report
+                .stages()
+                .iter()
+                .map(|s| s.stage.as_str())
+                .collect::<Vec<_>>(),
+            vec!["vectorize-left", "vectorize-right", "block"]
+        );
+        assert_eq!(report.total_wall(), Duration::from_millis(55));
+        assert_eq!(report.get("block").unwrap().items, 412);
+        assert!(report.get("match").is_none());
+    }
+
+    #[test]
+    fn time_captures_the_closure_result_and_item_count() {
+        let mut report = StageReport::new();
+        let doubled = report.time("double", || {
+            let v: Vec<i32> = (0..5).map(|x| x * 2).collect();
+            let n = v.len();
+            (v, n)
+        });
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+        let stage = report.get("double").unwrap();
+        assert_eq!(stage.items, 5);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn display_renders_one_line_per_stage_plus_total() {
+        let mut report = StageReport::new();
+        report.record("vectorize", Duration::from_millis(1), 10);
+        report.record("block", Duration::from_millis(2), 20);
+        let rendered = report.to_string();
+        assert_eq!(rendered.lines().count(), 3);
+        assert!(rendered.contains("vectorize"));
+        assert!(rendered.lines().last().unwrap().starts_with("total"));
+    }
+}

@@ -1,8 +1,10 @@
 //! Exact k-NN by brute-force scan with a bounded max-heap — the ground
-//! truth every approximate index is measured against.
+//! truth every approximate index is measured against. The scan walks the
+//! contiguous rows of an [`EmbeddingMatrix`] with precomputed row norms,
+//! so a cosine pass reads each stored vector exactly once.
 
 use crate::{Metric, NnIndex};
-use er_core::Embedding;
+use er_core::{Embedding, EmbeddingMatrix, VectorSource, VectorStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -36,41 +38,65 @@ impl Ord for Hit {
 }
 
 #[derive(Debug, Clone)]
-pub struct ExactIndex {
-    vectors: Vec<Embedding>,
+pub struct ExactIndex<'a> {
+    store: VectorStore<'a>,
     metric: Metric,
 }
 
-impl ExactIndex {
-    /// Build with the default metric (squared Euclidean).
-    pub fn build(vectors: &[Embedding]) -> ExactIndex {
+impl ExactIndex<'static> {
+    /// Build with the default metric (squared Euclidean). Copies the
+    /// embeddings once into an owned matrix (the legacy path).
+    pub fn build(vectors: &[Embedding]) -> ExactIndex<'static> {
         ExactIndex::with_metric(vectors, Metric::Euclidean)
     }
 
-    pub fn with_metric(vectors: &[Embedding], metric: Metric) -> ExactIndex {
-        ExactIndex {
-            vectors: vectors.to_vec(),
-            metric,
-        }
+    pub fn with_metric(vectors: &[Embedding], metric: Metric) -> ExactIndex<'static> {
+        ExactIndex::from_source(vectors, metric)
     }
 }
 
-impl NnIndex for ExactIndex {
+impl<'a> ExactIndex<'a> {
+    /// Zero-copy: borrow a matrix the pipeline already built.
+    pub fn from_matrix(matrix: &'a EmbeddingMatrix, metric: Metric) -> ExactIndex<'a> {
+        ExactIndex::from_source(matrix, metric)
+    }
+
+    /// The [`VectorSource`] seam: build from anything that yields a
+    /// [`VectorStore`] — a borrowed matrix, an owned matrix, or a legacy
+    /// `&[Embedding]` (copied once).
+    pub fn from_source(source: impl VectorSource<'a>, metric: Metric) -> ExactIndex<'a> {
+        ExactIndex {
+            store: source.into_store(),
+            metric,
+        }
+    }
+
+    /// The stored vectors (owned or borrowed).
+    pub fn matrix(&self) -> &EmbeddingMatrix {
+        self.store.matrix()
+    }
+}
+
+impl NnIndex for ExactIndex<'_> {
     fn len(&self) -> usize {
-        self.vectors.len()
+        self.store.len()
     }
 
     fn metric(&self) -> Metric {
         self.metric
     }
 
-    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
         if k == 0 {
             return Vec::new();
         }
+        let matrix = self.store.matrix();
+        let query_norm = self.metric.query_norm(query);
         let mut heap: BinaryHeap<Hit> = BinaryHeap::with_capacity(k + 1);
-        for (idx, v) in self.vectors.iter().enumerate() {
-            let dist = self.metric.distance(query, v);
+        for (idx, row) in matrix.rows_iter().enumerate() {
+            let dist = self
+                .metric
+                .distance_prenorm(query, query_norm, row, matrix.norm(idx));
             if heap.len() < k {
                 heap.push(Hit { dist, idx });
             } else if dist < heap.peek().expect("non-empty").dist {
@@ -153,5 +179,18 @@ mod tests {
         let hits = euclid.search(&Embedding(vec![1.0, 0.0]), 3);
         assert_eq!(hits[1].0, 1);
         assert_eq!(hits[2].0, 2);
+    }
+
+    #[test]
+    fn borrowed_matrix_gives_the_same_hits_as_the_owned_copy() {
+        let vectors = points();
+        let matrix = EmbeddingMatrix::from_embeddings(&vectors);
+        for metric in [Metric::Euclidean, Metric::Cosine] {
+            let owned = ExactIndex::with_metric(&vectors, metric);
+            let borrowed = ExactIndex::from_matrix(&matrix, metric);
+            for q in &vectors {
+                assert_eq!(owned.search(q, 3), borrowed.search(q, 3));
+            }
+        }
     }
 }

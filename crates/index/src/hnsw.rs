@@ -9,6 +9,11 @@
 //! nodes one at a time with a beam of width `ef_construction` and the
 //! heuristic neighbour selection of the paper's Algorithm 4.
 //!
+//! Vectors live in an [`EmbeddingMatrix`] (owned, or borrowed zero-copy via
+//! [`HnswIndex::from_matrix`]); all distance evaluations run over
+//! contiguous rows with precomputed norms, and the query norm is computed
+//! once per search rather than once per comparison.
+//!
 //! Determinism: node levels are the only random choice, drawn from a
 //! dedicated stream of `er_core::rng` seeded by `HnswConfig::seed`; every
 //! heap and neighbour comparison tie-breaks on node id, so one
@@ -16,7 +21,7 @@
 
 use crate::{Metric, NnIndex};
 use er_core::rng::derive;
-use er_core::Embedding;
+use er_core::{Embedding, EmbeddingMatrix, VectorSource, VectorStore};
 use rand::Rng;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -84,8 +89,8 @@ impl Ord for Cand {
 }
 
 #[derive(Debug, Clone)]
-pub struct HnswIndex {
-    vectors: Vec<Embedding>,
+pub struct HnswIndex<'a> {
+    store: VectorStore<'a>,
     /// `neighbors[node][layer]` — adjacency lists, layer 0 first.
     neighbors: Vec<Vec<Vec<u32>>>,
     entry: u32,
@@ -93,13 +98,28 @@ pub struct HnswIndex {
     config: HnswConfig,
 }
 
-impl HnswIndex {
-    pub fn build(vectors: &[Embedding], config: HnswConfig) -> HnswIndex {
+impl HnswIndex<'static> {
+    /// Legacy path: copy the embeddings once into an owned matrix.
+    pub fn build(vectors: &[Embedding], config: HnswConfig) -> HnswIndex<'static> {
+        HnswIndex::from_source(vectors, config)
+    }
+}
+
+impl<'a> HnswIndex<'a> {
+    /// Zero-copy: borrow a matrix the pipeline already built.
+    pub fn from_matrix(matrix: &'a EmbeddingMatrix, config: HnswConfig) -> HnswIndex<'a> {
+        HnswIndex::from_source(matrix, config)
+    }
+
+    /// The [`VectorSource`] seam: build the graph over any vector storage.
+    pub fn from_source(source: impl VectorSource<'a>, config: HnswConfig) -> HnswIndex<'a> {
         assert!(config.m >= 2, "HNSW needs m >= 2");
         assert!(config.ef_construction >= 1 && config.ef_search >= 1);
+        let store = source.into_store();
+        let n = store.len();
         let mut index = HnswIndex {
-            vectors: vectors.to_vec(),
-            neighbors: Vec::with_capacity(vectors.len()),
+            store,
+            neighbors: Vec::with_capacity(n),
             entry: 0,
             max_level: 0,
             config,
@@ -107,8 +127,8 @@ impl HnswIndex {
         // Exponentially-decaying level distribution: P(level ≥ l) = M^(-l).
         let ml = 1.0 / (index.config.m as f64).ln();
         let mut levels = derive(index.config.seed, "hnsw-levels");
-        let mut visited = vec![false; vectors.len()];
-        for id in 0..vectors.len() as u32 {
+        let mut visited = vec![false; n];
+        for id in 0..n as u32 {
             let u: f64 = levels.gen_range(0.0..1.0);
             // 1−u ∈ (0, 1] keeps ln finite; u = 0 maps to level 0.
             let level = ((-(1.0 - u).ln()) * ml) as usize;
@@ -119,6 +139,11 @@ impl HnswIndex {
 
     pub fn config(&self) -> &HnswConfig {
         &self.config
+    }
+
+    /// The stored vectors (owned or borrowed).
+    pub fn matrix(&self) -> &EmbeddingMatrix {
+        self.store.matrix()
     }
 
     /// Adjust the query-time beam width without rebuilding the graph.
@@ -139,8 +164,28 @@ impl HnswIndex {
         self.max_level
     }
 
-    fn dist(&self, a: &Embedding, id: u32) -> f32 {
-        self.config.metric.distance(a, &self.vectors[id as usize])
+    /// Distance from a query row (norm cached by the caller) to a stored row.
+    #[inline]
+    fn dist(&self, query: &[f32], query_norm: f32, id: u32) -> f32 {
+        let m = self.store.matrix();
+        self.config.metric.distance_prenorm(
+            query,
+            query_norm,
+            m.row(id as usize),
+            m.norm(id as usize),
+        )
+    }
+
+    /// Distance between two stored rows — both norms come from the cache.
+    #[inline]
+    fn dist_rows(&self, a: u32, b: u32) -> f32 {
+        let m = self.store.matrix();
+        self.config.metric.distance_prenorm(
+            m.row(a as usize),
+            m.norm(a as usize),
+            m.row(b as usize),
+            m.norm(b as usize),
+        )
     }
 
     fn insert(&mut self, id: u32, level: usize, visited: &mut [bool]) {
@@ -150,20 +195,24 @@ impl HnswIndex {
             self.max_level = level;
             return;
         }
-        let query = self.vectors[id as usize].clone();
+        // The inserted row doubles as the query while its links are chosen;
+        // copy it out so searches can mutate `self.neighbors` freely.
+        let query: Vec<f32> = self.store.row(id as usize).to_vec();
+        let query_norm = self.store.norm(id as usize);
         let mut cur = Cand {
-            dist: self.dist(&query, self.entry),
+            dist: self.dist(&query, query_norm, self.entry),
             id: self.entry,
         };
         // Greedy descent through layers above the new node's level.
         for layer in (level + 1..=self.max_level).rev() {
-            cur = self.greedy_closest(&query, cur, layer);
+            cur = self.greedy_closest(&query, query_norm, cur, layer);
         }
         // Beam search + connect on each layer the node participates in.
         let mut entries = vec![cur];
         for layer in (0..=level.min(self.max_level)).rev() {
             let found = self.search_layer(
                 &query,
+                query_norm,
                 &entries,
                 self.config.ef_construction,
                 layer,
@@ -193,12 +242,12 @@ impl HnswIndex {
     }
 
     /// Hill-climb to the locally closest node of one layer (beam width 1).
-    fn greedy_closest(&self, query: &Embedding, mut cur: Cand, layer: usize) -> Cand {
+    fn greedy_closest(&self, query: &[f32], query_norm: f32, mut cur: Cand, layer: usize) -> Cand {
         loop {
             let mut best = cur;
             for &nb in &self.neighbors[cur.id as usize][layer] {
                 let cand = Cand {
-                    dist: self.dist(query, nb),
+                    dist: self.dist(query, query_norm, nb),
                     id: nb,
                 };
                 if cand < best {
@@ -216,7 +265,8 @@ impl HnswIndex {
     /// returning up to `ef` candidates sorted nearest-first.
     fn search_layer(
         &self,
-        query: &Embedding,
+        query: &[f32],
+        query_norm: f32,
         entries: &[Cand],
         ef: usize,
         layer: usize,
@@ -244,7 +294,7 @@ impl HnswIndex {
                     continue;
                 }
                 let next = Cand {
-                    dist: self.dist(query, nb),
+                    dist: self.dist(query, query_norm, nb),
                     id: nb,
                 };
                 if results.len() < ef || next < *results.peek().expect("non-empty") {
@@ -273,7 +323,7 @@ impl HnswIndex {
             }
             let diverse = selected
                 .iter()
-                .all(|&kept| self.dist(&self.vectors[cand.id as usize], kept.id) > cand.dist);
+                .all(|&kept| self.dist_rows(cand.id, kept.id) > cand.dist);
             if diverse {
                 selected.push(cand);
             }
@@ -293,14 +343,10 @@ impl HnswIndex {
 
     /// Re-select a node's links after a back-link pushed it past `max_conn`.
     fn prune(&self, node: u32, conns: Vec<u32>, max_conn: usize) -> Vec<u32> {
-        let anchor = &self.vectors[node as usize];
         let mut cands: Vec<Cand> = conns
             .into_iter()
             .map(|id| Cand {
-                dist: self
-                    .config
-                    .metric
-                    .distance(anchor, &self.vectors[id as usize]),
+                dist: self.dist_rows(node, id),
                 id,
             })
             .collect();
@@ -309,29 +355,30 @@ impl HnswIndex {
     }
 }
 
-impl NnIndex for HnswIndex {
+impl NnIndex for HnswIndex<'_> {
     fn len(&self) -> usize {
-        self.vectors.len()
+        self.store.len()
     }
 
     fn metric(&self) -> Metric {
         self.config.metric
     }
 
-    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
-        if k == 0 || self.vectors.is_empty() {
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        if k == 0 || self.store.is_empty() {
             return Vec::new();
         }
+        let query_norm = self.config.metric.query_norm(query);
         let mut cur = Cand {
-            dist: self.dist(query, self.entry),
+            dist: self.dist(query, query_norm, self.entry),
             id: self.entry,
         };
         for layer in (1..=self.max_level).rev() {
-            cur = self.greedy_closest(query, cur, layer);
+            cur = self.greedy_closest(query, query_norm, cur, layer);
         }
         let ef = self.config.ef_search.max(k);
-        let mut visited = vec![false; self.vectors.len()];
-        let found = self.search_layer(query, &[cur], ef, 0, &mut visited);
+        let mut visited = vec![false; self.store.len()];
+        let found = self.search_layer(query, query_norm, &[cur], ef, 0, &mut visited);
         found
             .into_iter()
             .take(k)
@@ -416,6 +463,25 @@ mod tests {
         for (id, v) in grid().iter().enumerate() {
             let hits = index.search(v, 1);
             assert_eq!(hits[0], (id, 0.0), "node {id} unreachable from entry");
+        }
+    }
+
+    #[test]
+    fn borrowed_matrix_builds_the_bit_identical_graph() {
+        let vectors = grid();
+        let matrix = EmbeddingMatrix::from_embeddings(&vectors);
+        for metric in [Metric::Euclidean, Metric::Cosine] {
+            let config = HnswConfig {
+                metric,
+                ..HnswConfig::default()
+            };
+            let owned = HnswIndex::build(&vectors, config.clone());
+            let borrowed = HnswIndex::from_matrix(&matrix, config);
+            assert_eq!(owned.adjacency(), borrowed.adjacency());
+            assert_eq!(owned.max_level(), borrowed.max_level());
+            for v in &vectors {
+                assert_eq!(owned.search(v, 5), borrowed.search(v, 5));
+            }
         }
     }
 }

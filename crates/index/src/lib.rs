@@ -5,6 +5,13 @@
 //! (row 11), all deterministic under a fixed seed and generic over
 //! [`Metric`]. IVF-Flat (row 11b) and cross-polytope LSH arrive with the
 //! engine-ablation PR behind the same trait.
+//!
+//! Storage is columnar: every index holds an [`er_core::VectorStore`] —
+//! either an [`er_core::EmbeddingMatrix`] it owns (the legacy
+//! `Vec<Embedding>` constructors copy once into one) or a matrix it
+//! *borrows* from the pipeline (`from_matrix`, zero-copy; indices never
+//! clone a borrowed matrix). Distances run over contiguous rows with
+//! precomputed row norms, so a cosine scan touches each stored vector once.
 
 pub mod exact;
 pub mod hnsw;
@@ -16,10 +23,10 @@ pub use hnsw::{HnswConfig, HnswIndex};
 pub use lsh::{HyperplaneLsh, LshConfig};
 pub use metric::Metric;
 
-use er_core::Embedding;
+use er_core::{Embedding, EmbeddingMatrix};
 
-/// A nearest-neighbour index over a fixed set of embeddings. `search`
-/// returns up to `k` `(vector index, distance)` hits, nearest first, where
+/// A nearest-neighbour index over a fixed set of embeddings. Searches
+/// return up to `k` `(vector index, distance)` hits, nearest first, where
 /// the distance semantics are given by [`NnIndex::metric`] (lower is
 /// always closer).
 pub trait NnIndex {
@@ -32,7 +39,13 @@ pub trait NnIndex {
     /// The distance this index was built to minimize.
     fn metric(&self) -> Metric;
 
-    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)>;
+    /// Search with a raw query row — the allocation-free primitive every
+    /// other search entry point funnels into.
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<(usize, f32)>;
+
+    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+        self.search_slice(query.as_slice(), k)
+    }
 
     /// Batched search over many queries, parallelized across a scoped-thread
     /// worker pool (no crates.io, so no rayon — plain `std::thread::scope`).
@@ -45,26 +58,47 @@ pub trait NnIndex {
     where
         Self: Sync + Sized,
     {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(queries.len());
-        if workers <= 1 {
-            return queries.iter().map(|q| self.search(q, k)).collect();
-        }
-        let chunk = queries.len().div_ceil(workers);
-        let mut out = Vec::with_capacity(queries.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|chunk| {
-                    scope.spawn(move || chunk.iter().map(|q| self.search(q, k)).collect::<Vec<_>>())
-                })
-                .collect();
-            for handle in handles {
-                out.extend(handle.join().expect("search worker panicked"));
-            }
-        });
-        out
+        batch_by_chunks(queries.len(), |i| self.search(&queries[i], k))
     }
+
+    /// [`NnIndex::search_batch`] over the rows of an [`EmbeddingMatrix`] —
+    /// the pipeline's query path. Same chunking, same in-order reassembly,
+    /// bit-identical to sequential [`NnIndex::search_slice`] calls.
+    fn search_batch_rows(&self, queries: &EmbeddingMatrix, k: usize) -> Vec<Vec<(usize, f32)>>
+    where
+        Self: Sync + Sized,
+    {
+        batch_by_chunks(queries.len(), |i| self.search_slice(queries.row(i), k))
+    }
+}
+
+/// Fan `0..n` out over scoped-thread workers in contiguous chunks and
+/// reassemble the per-index results in input order.
+fn batch_by_chunks<F>(n: usize, search_one: F) -> Vec<Vec<(usize, f32)>>
+where
+    F: Fn(usize) -> Vec<(usize, f32)> + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return (0..n).map(&search_one).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let search_one = &search_one;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                scope.spawn(move || (start..end).map(search_one).collect::<Vec<_>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("search worker panicked"));
+        }
+    });
+    out
 }

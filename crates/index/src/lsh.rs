@@ -6,7 +6,8 @@
 //! probability `1 − θ/π` — the classic cosine sketch. Queries look up
 //! their bucket in every table, optionally probe the buckets reached by
 //! flipping the lowest-margin signature bits (multi-probe), then exactly
-//! re-rank the gathered candidates under the configured [`Metric`].
+//! re-rank the gathered candidates under the configured [`Metric`] over
+//! the stored [`EmbeddingMatrix`] (owned, or borrowed zero-copy).
 //!
 //! Determinism: table `t` draws its hyperplanes from the stream
 //! `derive(seed, "lsh-table-{t}")`, so the same seed reproduces identical
@@ -16,7 +17,7 @@
 
 use crate::{Metric, NnIndex};
 use er_core::rng::derive;
-use er_core::Embedding;
+use er_core::{kernels, Embedding, EmbeddingMatrix, VectorSource, VectorStore};
 use rand::{Rng, RngCore};
 use std::collections::HashMap;
 
@@ -58,8 +59,8 @@ struct Table {
 }
 
 #[derive(Debug, Clone)]
-pub struct HyperplaneLsh {
-    vectors: Vec<Embedding>,
+pub struct HyperplaneLsh<'a> {
+    store: VectorStore<'a>,
     tables: Vec<Table>,
     config: LshConfig,
 }
@@ -72,14 +73,29 @@ fn gaussian(rng: &mut impl RngCore) -> f32 {
     ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
 }
 
-impl HyperplaneLsh {
-    pub fn build(vectors: &[Embedding], config: LshConfig) -> HyperplaneLsh {
+impl HyperplaneLsh<'static> {
+    /// Legacy path: copy the embeddings once into an owned matrix.
+    pub fn build(vectors: &[Embedding], config: LshConfig) -> HyperplaneLsh<'static> {
+        HyperplaneLsh::from_source(vectors, config)
+    }
+}
+
+impl<'a> HyperplaneLsh<'a> {
+    /// Zero-copy: borrow a matrix the pipeline already built.
+    pub fn from_matrix(matrix: &'a EmbeddingMatrix, config: LshConfig) -> HyperplaneLsh<'a> {
+        HyperplaneLsh::from_source(matrix, config)
+    }
+
+    /// The [`VectorSource`] seam: hash any vector storage into the tables.
+    pub fn from_source(source: impl VectorSource<'a>, config: LshConfig) -> HyperplaneLsh<'a> {
         assert!(
             (1..=64).contains(&config.planes),
             "signatures are u64 bitmasks: 1 <= planes <= 64"
         );
         assert!(config.tables >= 1, "need at least one table");
-        let dim = vectors.first().map(Embedding::dim).unwrap_or(0);
+        let store = source.into_store();
+        let matrix = store.matrix();
+        let dim = matrix.dim();
         let tables = (0..config.tables)
             .map(|t| {
                 let mut rng = derive(config.seed, &format!("lsh-table-{t}"));
@@ -87,9 +103,9 @@ impl HyperplaneLsh {
                     .map(|_| (0..dim).map(|_| gaussian(&mut rng)).collect())
                     .collect();
                 let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-                let mut signatures = Vec::with_capacity(vectors.len());
-                for (id, v) in vectors.iter().enumerate() {
-                    let sig = signature(&hyperplanes, v);
+                let mut signatures = Vec::with_capacity(matrix.len());
+                for (id, row) in matrix.rows_iter().enumerate() {
+                    let sig = signature(&hyperplanes, row);
                     signatures.push(sig);
                     buckets.entry(sig).or_default().push(id as u32);
                 }
@@ -101,7 +117,7 @@ impl HyperplaneLsh {
             })
             .collect();
         HyperplaneLsh {
-            vectors: vectors.to_vec(),
+            store,
             tables,
             config,
         }
@@ -109,6 +125,11 @@ impl HyperplaneLsh {
 
     pub fn config(&self) -> &LshConfig {
         &self.config
+    }
+
+    /// The stored vectors (owned or borrowed).
+    pub fn matrix(&self) -> &EmbeddingMatrix {
+        self.store.matrix()
     }
 
     /// Per-table signatures, `[table][vector] -> u64` — exposed so the
@@ -123,7 +144,17 @@ impl HyperplaneLsh {
     /// Gather the deduplicated candidate ids the probing scheme reaches for
     /// `query` (exposed for the recall analysis; `search` re-ranks these).
     pub fn candidates(&self, query: &Embedding) -> Vec<u32> {
-        let mut seen = vec![false; self.vectors.len()];
+        self.candidates_slice(query.as_slice())
+    }
+
+    /// Slice form of [`HyperplaneLsh::candidates`].
+    pub fn candidates_slice(&self, query: &[f32]) -> Vec<u32> {
+        if self.store.is_empty() {
+            // An empty index hashed nothing; probing its dim-0 hyperplanes
+            // against a real query would be a shape mismatch.
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.store.len()];
         let mut out = Vec::new();
         for table in &self.tables {
             let (sig, margins) = signature_with_margins(&table.hyperplanes, query);
@@ -156,22 +187,21 @@ impl HyperplaneLsh {
     }
 }
 
-fn signature(hyperplanes: &[Vec<f32>], v: &Embedding) -> u64 {
+fn signature(hyperplanes: &[Vec<f32>], v: &[f32]) -> u64 {
     let mut sig = 0u64;
     for (bit, plane) in hyperplanes.iter().enumerate() {
-        let dot: f32 = plane.iter().zip(v.as_slice()).map(|(p, x)| p * x).sum();
-        if dot >= 0.0 {
+        if kernels::dot(plane, v) >= 0.0 {
             sig |= 1 << bit;
         }
     }
     sig
 }
 
-fn signature_with_margins(hyperplanes: &[Vec<f32>], v: &Embedding) -> (u64, Vec<f32>) {
+fn signature_with_margins(hyperplanes: &[Vec<f32>], v: &[f32]) -> (u64, Vec<f32>) {
     let mut sig = 0u64;
     let mut margins = Vec::with_capacity(hyperplanes.len());
     for (bit, plane) in hyperplanes.iter().enumerate() {
-        let dot: f32 = plane.iter().zip(v.as_slice()).map(|(p, x)| p * x).sum();
+        let dot = kernels::dot(plane, v);
         if dot >= 0.0 {
             sig |= 1 << bit;
         }
@@ -180,29 +210,32 @@ fn signature_with_margins(hyperplanes: &[Vec<f32>], v: &Embedding) -> (u64, Vec<
     (sig, margins)
 }
 
-impl NnIndex for HyperplaneLsh {
+impl NnIndex for HyperplaneLsh<'_> {
     fn len(&self) -> usize {
-        self.vectors.len()
+        self.store.len()
     }
 
     fn metric(&self) -> Metric {
         self.config.metric
     }
 
-    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
         if k == 0 {
             return Vec::new();
         }
+        let matrix = self.store.matrix();
+        let query_norm = self.config.metric.query_norm(query);
         let mut hits: Vec<(usize, f32)> = self
-            .candidates(query)
+            .candidates_slice(query)
             .into_iter()
             .map(|id| {
-                (
-                    id as usize,
-                    self.config
-                        .metric
-                        .distance(query, &self.vectors[id as usize]),
-                )
+                let dist = self.config.metric.distance_prenorm(
+                    query,
+                    query_norm,
+                    matrix.row(id as usize),
+                    matrix.norm(id as usize),
+                );
+                (id as usize, dist)
             })
             .collect();
         hits.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
@@ -266,6 +299,18 @@ mod tests {
         assert!(lsh.search(&Embedding(vec![1.0]), 5).is_empty());
         let one = HyperplaneLsh::build(&[Embedding(vec![1.0, 2.0])], LshConfig::default());
         assert!(one.search(&Embedding(vec![1.0, 2.0]), 0).is_empty());
+    }
+
+    #[test]
+    fn borrowed_matrix_hashes_to_identical_signatures_and_hits() {
+        let vectors = random_vectors(60, 8, 5);
+        let matrix = EmbeddingMatrix::from_embeddings(&vectors);
+        let owned = HyperplaneLsh::build(&vectors, LshConfig::default());
+        let borrowed = HyperplaneLsh::from_matrix(&matrix, LshConfig::default());
+        assert_eq!(owned.signatures(), borrowed.signatures());
+        for v in &vectors {
+            assert_eq!(owned.search(v, 5), borrowed.search(v, 5));
+        }
     }
 
     #[test]

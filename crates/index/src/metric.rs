@@ -5,8 +5,12 @@
 //! FAISS indices operate on (squared) Euclidean distance. Both are exposed
 //! behind one enum so the indices and the blocker agree on what a returned
 //! "distance" means: always *lower is closer*.
+//!
+//! All arithmetic lives in [`er_core::kernels`] — the same functions
+//! `er_matching::similarity` calls — so a distance computed here is
+//! bit-identical to the similarity the matcher derives from it.
 
-use er_core::Embedding;
+use er_core::{kernels, Embedding};
 
 /// The distance an index minimizes. Every [`crate::NnIndex`] reports which
 /// one it was built with via [`crate::NnIndex::metric`].
@@ -24,14 +28,38 @@ pub enum Metric {
 impl Metric {
     /// Distance between two embeddings; lower is closer for both variants.
     pub fn distance(&self, a: &Embedding, b: &Embedding) -> f32 {
+        self.distance_slices(a.as_slice(), b.as_slice())
+    }
+
+    /// Slice form of [`Metric::distance`], for raw [`er_core::EmbeddingMatrix`]
+    /// rows.
+    #[inline]
+    pub fn distance_slices(&self, a: &[f32], b: &[f32]) -> f32 {
         match self {
-            Metric::Euclidean => a
-                .as_slice()
-                .iter()
-                .zip(b.as_slice())
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum(),
-            Metric::Cosine => 1.0 - a.cosine(b),
+            Metric::Euclidean => kernels::squared_euclidean(a, b),
+            Metric::Cosine => 1.0 - kernels::cosine(a, b),
+        }
+    }
+
+    /// Distance with caller-cached norms — the hot path of every index scan
+    /// over an [`er_core::EmbeddingMatrix`], whose row norms are precomputed.
+    /// Norms are ignored for Euclidean; for cosine, passing the true norms
+    /// makes this bit-identical to [`Metric::distance_slices`].
+    #[inline]
+    pub fn distance_prenorm(&self, a: &[f32], a_norm: f32, b: &[f32], b_norm: f32) -> f32 {
+        match self {
+            Metric::Euclidean => kernels::squared_euclidean(a, b),
+            Metric::Cosine => 1.0 - kernels::cosine_prenorm(a, a_norm, b, b_norm),
+        }
+    }
+
+    /// The query norm needed by [`Metric::distance_prenorm`]: computed once
+    /// per query, or skipped entirely (0.0) when the metric ignores norms.
+    #[inline]
+    pub fn query_norm(&self, query: &[f32]) -> f32 {
+        match self {
+            Metric::Euclidean => 0.0,
+            Metric::Cosine => kernels::norm(query),
         }
     }
 }
@@ -76,6 +104,24 @@ mod tests {
         let z = Embedding::zeros(2);
         assert_eq!(Metric::Cosine.distance(&a, &z), 1.0);
         assert_eq!(Metric::Cosine.distance(&z, &z), 1.0);
+    }
+
+    #[test]
+    fn prenorm_path_is_bit_identical_to_recomputed_path() {
+        let (a, b, c) = fixture();
+        let z = Embedding::zeros(2);
+        for metric in [Metric::Euclidean, Metric::Cosine] {
+            for (x, y) in [(&a, &b), (&a, &c), (&b, &c), (&a, &z), (&z, &z)] {
+                let fresh = metric.distance(x, y);
+                let cached = metric.distance_prenorm(
+                    x.as_slice(),
+                    metric.query_norm(x.as_slice()),
+                    y.as_slice(),
+                    y.norm(),
+                );
+                assert_eq!(fresh.to_bits(), cached.to_bits(), "{metric:?} {x:?} {y:?}");
+            }
+        }
     }
 
     #[test]

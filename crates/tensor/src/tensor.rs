@@ -1,5 +1,6 @@
 //! Dense row-major 2-D tensors and the matrix kernels used everywhere.
 
+use er_core::kernels;
 use rand::Rng;
 
 /// A dense `rows x cols` matrix of `f32`, row-major.
@@ -108,8 +109,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     for i in 0..a.rows {
         let arow = a.row(i);
         for j in 0..b.rows {
-            let dot: f32 = arow.iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
-            out.set(i, j, dot);
+            out.set(i, j, kernels::dot(arow, b.row(j)));
         }
     }
     out

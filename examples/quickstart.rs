@@ -72,27 +72,28 @@ fn main() {
             }),
         ),
     ];
+    let pipeline = Pipeline::new(ft.as_ref(), SerializationMode::SchemaAgnostic);
+    let mut last_report = None;
     for (name, backend) in backends {
         let config = TopKConfig {
             k: 10,
             backend,
             dirty: false,
         };
-        let candidates = block(
-            ft.as_ref(),
-            &ds.left,
-            &ds.right,
-            &SerializationMode::SchemaAgnostic,
-            &config,
-        );
-        let metrics = Metrics::of_candidates(&candidates, &ds.ground_truth);
+        let outcome = pipeline.block(&ds.left, &ds.right, &config);
+        let metrics = Metrics::of_candidates(&outcome.candidates, &ds.ground_truth);
         println!(
             "  {name:<17} {:.3}                {:>6}      {:>5.1}%",
             metrics.recall,
-            candidates.len(),
-            100.0 * candidates.len() as f64 / cross as f64
+            outcome.candidates.len(),
+            100.0 * outcome.candidates.len() as f64 / cross as f64
         );
+        last_report = Some(outcome.report);
     }
     println!("\nTop-10 blocking keeps pairs-completeness near 1 while pruning");
     println!("~90% of the cross-product — the paper's Fig. 3/12 trade-off.");
+    if let Some(report) = last_report {
+        println!("\nper-stage wall-clock of the last run (Pipeline::block):");
+        println!("{report}");
+    }
 }

@@ -5,8 +5,12 @@
 //!
 //! The facade re-exports every subsystem crate and offers a [`prelude`]
 //! plus the first two stages of the paper's Figure 1 pipeline:
-//! vectorization ([`vectorize`]) over a pre-trained [`ModelZoo`] and
-//! embedding top-k blocking ([`block`]) over the ANN indices.
+//! vectorization ([`vectorize`] / [`vectorize_matrix`]) over a pre-trained
+//! [`ModelZoo`] and embedding top-k blocking ([`block`]) over the ANN
+//! indices. The [`Pipeline`] builder runs both stages over columnar
+//! [`core::EmbeddingMatrix`] storage — each collection embedded exactly
+//! once, indices borrowing the matrix zero-copy — and returns a
+//! [`eval::StageReport`] of per-stage wall-clock alongside the candidates.
 //!
 //! ```
 //! use embeddings4er::prelude::*;
@@ -27,27 +31,34 @@ pub use er_matching as matching;
 pub use er_tensor as tensor;
 pub use er_text as text;
 
+pub mod pipeline;
+
+pub use pipeline::{vectorize_matrix, BlockOutcome, Pipeline};
+
 use er_blocking::TopKConfig;
 use er_core::{Embedding, Entity, EntityId, SerializationMode};
 use er_embed::LanguageModel;
 
 /// Everything needed to drive the pipeline end to end.
 pub mod prelude {
-    pub use er_blocking::{dedup_candidates, top_k_blocking, BlockerBackend, TopKConfig};
+    pub use er_blocking::{
+        dedup_candidates, top_k_blocking, top_k_blocking_matrix, BlockerBackend, TopKConfig,
+    };
     pub use er_core::rng::rng;
     pub use er_core::{
-        Embedding, Entity, EntityId, ErError, GroundTruth, Result, ScoredPair, SerializationMode,
+        Embedding, EmbeddingMatrix, Entity, EntityId, ErError, GroundTruth, Result, ScoredPair,
+        SerializationMode,
     };
     pub use er_datasets::{CleanCleanDataset, DatasetId, DatasetProfile};
     pub use er_embed::{AnyModel, LanguageModel, ModelCode, ModelZoo, ZooConfig};
-    pub use er_eval::Metrics;
+    pub use er_eval::{Metrics, StageReport};
     pub use er_index::{
         ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex,
     };
     pub use er_text::corpus::synthetic_corpus;
     pub use er_text::{normalize, tokenize, Corpus};
 
-    pub use crate::{block, vectorize};
+    pub use crate::{block, vectorize, vectorize_matrix, BlockOutcome, Pipeline};
 }
 
 pub use er_embed::{ModelCode, ModelZoo, ZooConfig};
@@ -69,6 +80,10 @@ pub fn vectorize(
 /// embedding top-k blocker — index the right side, query with the left,
 /// return deduplicated `(left id, right id)` candidate pairs. For Dirty ER
 /// pass the same collection twice with `config.dirty = true`.
+///
+/// Thin wrapper over [`Pipeline::block`] (which also returns the
+/// per-stage [`eval::StageReport`], and embeds a shared Dirty-ER
+/// collection once instead of twice); candidates are byte-identical.
 pub fn block(
     model: &dyn LanguageModel,
     left: &[Entity],
@@ -76,11 +91,9 @@ pub fn block(
     mode: &SerializationMode,
     config: &TopKConfig,
 ) -> Vec<(EntityId, EntityId)> {
-    let left_vectors = vectorize(model, left, mode);
-    let right_vectors = vectorize(model, right, mode);
-    let left_ids: Vec<EntityId> = left.iter().map(|e| e.id).collect();
-    let right_ids: Vec<EntityId> = right.iter().map(|e| e.id).collect();
-    er_blocking::top_k_blocking(&left_ids, &left_vectors, &right_ids, &right_vectors, config)
+    Pipeline::new(model, mode.clone())
+        .block(left, right, config)
+        .candidates
 }
 
 #[cfg(test)]

@@ -1,0 +1,231 @@
+//! The Figure 1 pipeline driver: vectorize each collection **exactly
+//! once** into a columnar [`EmbeddingMatrix`], hand the borrowed matrices
+//! to the top-k blocker (zero-copy — the index never clones a row), and
+//! record per-stage wall-clock plus item counts in a [`StageReport`].
+//!
+//! [`Pipeline::block`] fixes the Dirty-ER inefficiency of the free
+//! [`crate::block`] function, which vectorized the collection twice when
+//! the same slice was passed as both sides; the free function is now a
+//! thin wrapper over this type, so both emit byte-identical candidates.
+
+use er_blocking::{top_k_blocking_matrix, TopKConfig};
+use er_core::{EmbeddingMatrix, Entity, EntityId, SerializationMode};
+use er_embed::LanguageModel;
+use er_eval::StageReport;
+
+/// What [`Pipeline::block`] returns: the deduplicated candidate pairs and
+/// the per-stage timing report.
+#[derive(Debug, Clone)]
+pub struct BlockOutcome {
+    pub candidates: Vec<(EntityId, EntityId)>,
+    pub report: StageReport,
+}
+
+/// A configured vectorize → index → block run: one model, one
+/// serialization mode, each collection embedded once.
+pub struct Pipeline<'m> {
+    model: &'m dyn LanguageModel,
+    mode: SerializationMode,
+}
+
+impl<'m> Pipeline<'m> {
+    pub fn new(model: &'m dyn LanguageModel, mode: SerializationMode) -> Pipeline<'m> {
+        Pipeline { model, mode }
+    }
+
+    /// Vectorize a collection into columnar storage — the matrix-returning
+    /// variant of [`crate::vectorize`], embedding rows in parallel across a
+    /// scoped-thread pool. Row `i` holds entity `i`'s embedding, bit-equal
+    /// to `model.embed(&entities[i].serialize(mode))`.
+    pub fn vectorize(&self, entities: &[Entity]) -> EmbeddingMatrix {
+        vectorize_matrix(self.model, entities, &self.mode)
+    }
+
+    /// Run vectorize + top-k blocking. For Dirty ER pass the same slice as
+    /// both sides (with `config.dirty = true`): it is detected by identity
+    /// and embedded once, not twice.
+    pub fn block(&self, left: &[Entity], right: &[Entity], config: &TopKConfig) -> BlockOutcome {
+        let mut report = StageReport::new();
+        let shared = left.as_ptr() == right.as_ptr() && left.len() == right.len();
+        let left_matrix = report.time(
+            if shared {
+                "vectorize"
+            } else {
+                "vectorize-left"
+            },
+            || {
+                let m = self.vectorize(left);
+                let rows = m.len();
+                (m, rows)
+            },
+        );
+        let right_matrix = if shared {
+            None
+        } else {
+            Some(report.time("vectorize-right", || {
+                let m = self.vectorize(right);
+                let rows = m.len();
+                (m, rows)
+            }))
+        };
+        let left_ids: Vec<EntityId> = left.iter().map(|e| e.id).collect();
+        let right_ids: Vec<EntityId> = right.iter().map(|e| e.id).collect();
+        let candidates = report.time("block", || {
+            let c = top_k_blocking_matrix(
+                &left_ids,
+                &left_matrix,
+                &right_ids,
+                right_matrix.as_ref().unwrap_or(&left_matrix),
+                config,
+            );
+            let pairs = c.len();
+            (c, pairs)
+        });
+        BlockOutcome { candidates, report }
+    }
+}
+
+/// Serialize and embed every entity into a fresh [`EmbeddingMatrix`],
+/// fanning the rows out over `available_parallelism` scoped threads in
+/// contiguous chunks. Each row is written independently, so the result is
+/// bit-identical to the sequential loop regardless of thread count.
+pub fn vectorize_matrix(
+    model: &dyn LanguageModel,
+    entities: &[Entity],
+    mode: &SerializationMode,
+) -> EmbeddingMatrix {
+    let dim = model.dim();
+    if entities.is_empty() || dim == 0 {
+        return EmbeddingMatrix::new(dim);
+    }
+    let mut data = vec![0.0f32; entities.len() * dim];
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(entities.len());
+    let chunk_rows = entities.len().div_ceil(workers);
+    if workers <= 1 {
+        embed_chunk(model, entities, mode, &mut data, dim);
+    } else {
+        std::thread::scope(|scope| {
+            for (entity_chunk, data_chunk) in entities
+                .chunks(chunk_rows)
+                .zip(data.chunks_mut(chunk_rows * dim))
+            {
+                scope.spawn(move || embed_chunk(model, entity_chunk, mode, data_chunk, dim));
+            }
+        });
+    }
+    EmbeddingMatrix::from_flat(dim, data).expect("matrix sized as rows x dim")
+}
+
+fn embed_chunk(
+    model: &dyn LanguageModel,
+    entities: &[Entity],
+    mode: &SerializationMode,
+    data: &mut [f32],
+    dim: usize,
+) {
+    for (entity, row) in entities.iter().zip(data.chunks_exact_mut(dim)) {
+        model.embed_into(&entity.serialize(mode), row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::BlockerBackend;
+    use er_core::Embedding;
+    use er_embed::{ModelCode, ModelZoo, ZooConfig};
+    use er_index::Metric;
+
+    fn entities(n: u32, salt: &str) -> Vec<Entity> {
+        (0..n)
+            .map(|i| {
+                Entity::new(
+                    EntityId(i),
+                    vec![
+                        ("name".into(), format!("entity {salt} number {i}")),
+                        ("city".into(), format!("springfield district {}", i % 4)),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matrix_vectorize_is_bit_identical_to_sequential() {
+        let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), 42);
+        let model = zoo.get(ModelCode::WC);
+        let collection = entities(37, "alpha");
+        let mode = SerializationMode::SchemaAgnostic;
+        let matrix = vectorize_matrix(model.as_ref(), &collection, &mode);
+        let sequential: Vec<Embedding> = crate::vectorize(model.as_ref(), &collection, &mode);
+        assert_eq!(matrix.len(), collection.len());
+        assert_eq!(matrix.dim(), model.dim());
+        for (i, e) in sequential.iter().enumerate() {
+            assert_eq!(
+                matrix.row(i),
+                e.as_slice(),
+                "row {i} drifted from the sequential embed"
+            );
+        }
+        assert!(vectorize_matrix(model.as_ref(), &[], &mode).is_empty());
+    }
+
+    #[test]
+    fn pipeline_block_matches_the_free_function_and_reports_stages() {
+        let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), 42);
+        let model = zoo.get(ModelCode::FT);
+        let left = entities(20, "left");
+        let right = entities(18, "right");
+        let mode = SerializationMode::SchemaAgnostic;
+        let config = TopKConfig {
+            k: 3,
+            backend: BlockerBackend::Exact(Metric::Cosine),
+            dirty: false,
+        };
+        let outcome = Pipeline::new(model.as_ref(), mode.clone()).block(&left, &right, &config);
+        let legacy = crate::block(model.as_ref(), &left, &right, &mode, &config);
+        assert_eq!(outcome.candidates, legacy);
+        let stages: Vec<&str> = outcome
+            .report
+            .stages()
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        assert_eq!(stages, vec!["vectorize-left", "vectorize-right", "block"]);
+        assert_eq!(outcome.report.get("vectorize-left").unwrap().items, 20);
+        assert_eq!(
+            outcome.report.get("block").unwrap().items,
+            outcome.candidates.len()
+        );
+    }
+
+    #[test]
+    fn dirty_er_embeds_the_shared_collection_once() {
+        let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), 42);
+        let model = zoo.get(ModelCode::WC);
+        let collection = entities(16, "dirty");
+        let mode = SerializationMode::SchemaAgnostic;
+        let config = TopKConfig {
+            k: 2,
+            backend: BlockerBackend::Exact(Metric::Cosine),
+            dirty: true,
+        };
+        let pipeline = Pipeline::new(model.as_ref(), mode.clone());
+        let outcome = pipeline.block(&collection, &collection, &config);
+        // One vectorize stage, not two.
+        let stages: Vec<&str> = outcome
+            .report
+            .stages()
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        assert_eq!(stages, vec!["vectorize", "block"]);
+        // And the candidates still equal the double-embedding legacy path.
+        let legacy = crate::block(model.as_ref(), &collection, &collection, &mode, &config);
+        assert_eq!(outcome.candidates, legacy);
+        assert!(outcome.candidates.iter().all(|(a, b)| a < b));
+    }
+}
