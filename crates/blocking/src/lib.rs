@@ -9,9 +9,11 @@
 
 pub mod topk;
 
-pub use topk::{top_k_blocking, top_k_blocking_matrix, BlockerBackend, TopKConfig};
+pub use topk::{
+    top_k_blocking, top_k_blocking_matrix, top_k_blocking_scored_matrix, BlockerBackend, TopKConfig,
+};
 
-use er_core::EntityId;
+use er_core::{EntityId, ScoredPair};
 
 /// Deduplicate candidate pairs produced by redundancy-positive blocking
 /// (k-NN from both sides, multiple blocks). Order-normalizes each pair for
@@ -37,6 +39,32 @@ pub fn dedup_candidates(
         .collect();
     out.sort_unstable();
     out.dedup();
+    out
+}
+
+/// The scored twin of [`dedup_candidates`]: order-normalize for Dirty ER,
+/// drop self-pairs, sort by `(left, right)` and keep one entry per id
+/// pair. Safe to apply to blocker output because every blocker similarity
+/// is bitwise symmetric in its endpoints (see
+/// `er_index::Metric::hit_similarity`), so flipping a pair never changes
+/// its score.
+pub fn dedup_scored(pairs: impl IntoIterator<Item = ScoredPair>, dirty: bool) -> Vec<ScoredPair> {
+    let mut out: Vec<ScoredPair> = pairs
+        .into_iter()
+        .filter_map(|p| {
+            if dirty {
+                match p.left.0.cmp(&p.right.0) {
+                    std::cmp::Ordering::Less => Some(p),
+                    std::cmp::Ordering::Equal => None,
+                    std::cmp::Ordering::Greater => Some(ScoredPair::new(p.right, p.left, p.score)),
+                }
+            } else {
+                Some(p)
+            }
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| a.cmp_id_pair(b).then_with(|| a.score.total_cmp(&b.score)));
+    out.dedup_by(|a, b| a.id_pair() == b.id_pair());
     out
 }
 
@@ -99,6 +127,36 @@ mod tests {
                 (EntityId(1), EntityId(9)),
                 (EntityId(9), EntityId(1)),
             ]
+        );
+    }
+
+    #[test]
+    fn scored_dedup_matches_unscored_dedup_on_the_id_pairs() {
+        let raw = [
+            (EntityId(2), EntityId(1)),
+            (EntityId(1), EntityId(2)),
+            (EntityId(3), EntityId(3)),
+            (EntityId(1), EntityId(4)),
+            (EntityId(1), EntityId(4)),
+        ];
+        let scored: Vec<ScoredPair> = raw
+            .iter()
+            .map(|&(a, b)| ScoredPair::new(a, b, 0.25 * (a.0 + b.0) as f32))
+            .collect();
+        for dirty in [false, true] {
+            let plain = dedup_candidates(raw.iter().copied(), dirty);
+            let rich = dedup_scored(scored.iter().copied(), dirty);
+            let projected: Vec<(EntityId, EntityId)> = rich.iter().map(|p| p.id_pair()).collect();
+            assert_eq!(projected, plain, "dirty={dirty}");
+        }
+    }
+
+    #[test]
+    fn scored_dedup_keeps_the_symmetric_score_when_flipping() {
+        let flipped = dedup_scored([ScoredPair::new(EntityId(7), EntityId(3), 0.625)], true);
+        assert_eq!(
+            flipped,
+            vec![ScoredPair::new(EntityId(3), EntityId(7), 0.625)]
         );
     }
 

@@ -4,16 +4,20 @@
 //! the paper's Fig. 3 blocking recipe (DeepER lineage, §4.3).
 //!
 //! The native storage is the columnar [`EmbeddingMatrix`]:
-//! [`top_k_blocking_matrix`] builds the chosen index *borrowing* the right
-//! side (zero-copy) and batch-queries it with the left side's rows via
-//! [`NnIndex::search_batch_rows`], fanning out over a scoped-thread worker
-//! pool while staying bit-identical to sequential search. The legacy
-//! [`top_k_blocking`] entry point copies each `Vec<Embedding>` into a
-//! matrix once and funnels into the same code path, so both produce
-//! byte-identical candidates.
+//! [`top_k_blocking_scored_matrix`] builds the chosen index *borrowing*
+//! the right side (zero-copy), batch-queries it with the left side's rows
+//! via [`NnIndex::search_batch_rows`] (fanning out over a scoped-thread
+//! worker pool while staying bit-identical to sequential search), and
+//! threads each hit's similarity outward as a [`ScoredPair`] — the
+//! scored-candidate contract the matchers consume (see
+//! [`Metric::hit_similarity`]: cosine scores are bit-identical to
+//! `er_matching::similarity::cosine`). The unscored
+//! [`top_k_blocking_matrix`] and the legacy [`top_k_blocking`] entry
+//! points are thin projections of the same code path, so all three emit
+//! candidates in the same canonical `(left, right)` order.
 
-use crate::dedup_candidates;
-use er_core::{Embedding, EmbeddingMatrix, EntityId};
+use crate::dedup_scored;
+use er_core::{Embedding, EmbeddingMatrix, EntityId, ScoredPair};
 use er_index::{ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex};
 
 /// Which index serves the k-NN queries.
@@ -27,26 +31,71 @@ pub enum BlockerBackend {
     Lsh(LshConfig),
 }
 
+impl BlockerBackend {
+    /// The metric the backend's index will be built with.
+    pub fn metric(&self) -> Metric {
+        match self {
+            BlockerBackend::Exact(metric) => *metric,
+            BlockerBackend::Hnsw(config) => config.metric,
+            BlockerBackend::Lsh(config) => config.metric,
+        }
+    }
+}
+
+impl Default for BlockerBackend {
+    /// HNSW under cosine — the paper's blocking setting over raw
+    /// embeddings, on the scalable index.
+    fn default() -> Self {
+        BlockerBackend::Hnsw(HnswConfig {
+            metric: Metric::Cosine,
+            ..HnswConfig::default()
+        })
+    }
+}
+
 /// Top-k blocking configuration.
+///
+/// Construct it either as a struct literal or through the builder:
+/// `TopKConfig::new(10).backend(BlockerBackend::Exact(Metric::Cosine)).dirty(true)`.
 #[derive(Debug, Clone)]
 pub struct TopKConfig {
     /// Neighbours kept per query entity (the paper sweeps k ∈ {1, 5, 10}).
     pub k: usize,
     pub backend: BlockerBackend,
     /// Dirty ER: both sides are the same collection, so pairs are
-    /// order-normalized and self-pairs dropped (see [`dedup_candidates`]).
+    /// order-normalized and self-pairs dropped (see
+    /// [`crate::dedup_candidates`]).
     pub dirty: bool,
+}
+
+impl TopKConfig {
+    /// Start a builder with the given `k` and the default backend
+    /// (HNSW/cosine) and dirty flag (`false`).
+    pub fn new(k: usize) -> TopKConfig {
+        TopKConfig {
+            k,
+            ..TopKConfig::default()
+        }
+    }
+
+    /// Choose the index backend.
+    pub fn backend(mut self, backend: BlockerBackend) -> TopKConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// Mark both sides as the same collection (Dirty ER).
+    pub fn dirty(mut self, dirty: bool) -> TopKConfig {
+        self.dirty = dirty;
+        self
+    }
 }
 
 impl Default for TopKConfig {
     fn default() -> Self {
         TopKConfig {
             k: 10,
-            // Cosine over raw embeddings is the paper's blocking setting.
-            backend: BlockerBackend::Hnsw(HnswConfig {
-                metric: Metric::Cosine,
-                ..HnswConfig::default()
-            }),
+            backend: BlockerBackend::default(),
             dirty: false,
         }
     }
@@ -76,7 +125,8 @@ pub fn top_k_blocking(
 
 /// Run top-k blocking over columnar storage: index `right` (borrowed,
 /// zero-copy), batch-query it with every row of `left`, and return the
-/// deduplicated candidate pairs `(left id, right id)`.
+/// deduplicated candidate pairs `(left id, right id)` — the unscored
+/// projection of [`top_k_blocking_scored_matrix`], in the same order.
 pub fn top_k_blocking_matrix(
     left_ids: &[EntityId],
     left: &EmbeddingMatrix,
@@ -84,6 +134,36 @@ pub fn top_k_blocking_matrix(
     right: &EmbeddingMatrix,
     config: &TopKConfig,
 ) -> Vec<(EntityId, EntityId)> {
+    top_k_blocking_scored_matrix(left_ids, left, right_ids, right, config)
+        .into_iter()
+        .map(|p| p.id_pair())
+        .collect()
+}
+
+/// The scored variant of [`top_k_blocking_matrix`]: every surviving
+/// candidate carries the similarity the matchers consume, threaded from
+/// the index hit via [`Metric::hit_similarity`].
+///
+/// For cosine backends the score is recomputed as
+/// `kernels::cosine_prenorm(left row, cached left norm, right row, cached
+/// right norm)`, which is bit-identical to
+/// `er_matching::similarity::cosine` on the same rows — subtracting the
+/// hit distance from 1 instead would drift by an ulp whenever `1 − cos`
+/// rounds. Euclidean backends map the (squared) distance monotonically
+/// through `1 / (1 + d)`. Either way downstream matchers never touch the
+/// vectors again: no re-scoring, no kernel drift.
+///
+/// Output is deduplicated (order-normalized and self-pair-free when
+/// `config.dirty`) and sorted by `(left, right)`; the similarity is
+/// symmetric at the bit level, so order normalization never changes a
+/// score.
+pub fn top_k_blocking_scored_matrix(
+    left_ids: &[EntityId],
+    left: &EmbeddingMatrix,
+    right_ids: &[EntityId],
+    right: &EmbeddingMatrix,
+    config: &TopKConfig,
+) -> Vec<ScoredPair> {
     assert_eq!(left_ids.len(), left.len(), "left ids/vectors differ");
     assert_eq!(right_ids.len(), right.len(), "right ids/vectors differ");
     if left_ids.is_empty() || right_ids.is_empty() || config.k == 0 {
@@ -95,6 +175,7 @@ pub fn top_k_blocking_matrix(
             left_ids,
             left,
             right_ids,
+            right,
             config,
         ),
         BlockerBackend::Hnsw(hnsw) => query_all(
@@ -102,6 +183,7 @@ pub fn top_k_blocking_matrix(
             left_ids,
             left,
             right_ids,
+            right,
             config,
         ),
         BlockerBackend::Lsh(lsh) => query_all(
@@ -109,6 +191,7 @@ pub fn top_k_blocking_matrix(
             left_ids,
             left,
             right_ids,
+            right,
             config,
         ),
     }
@@ -119,15 +202,26 @@ fn query_all<I: NnIndex + Sync>(
     left_ids: &[EntityId],
     left: &EmbeddingMatrix,
     right_ids: &[EntityId],
+    right: &EmbeddingMatrix,
     config: &TopKConfig,
-) -> Vec<(EntityId, EntityId)> {
+) -> Vec<ScoredPair> {
+    let metric = index.metric();
     let hits = index.search_batch_rows(left, config.k);
     let pairs = hits.into_iter().enumerate().flat_map(|(i, neighbours)| {
-        neighbours
-            .into_iter()
-            .map(move |(j, _)| (left_ids[i], right_ids[j]))
+        let left_row = left.row(i);
+        let left_norm = left.norm(i);
+        neighbours.into_iter().map(move |n| {
+            let score = metric.hit_similarity(
+                left_row,
+                left_norm,
+                right.row(n.index),
+                right.norm(n.index),
+                n.distance,
+            );
+            ScoredPair::new(left_ids[i], right_ids[n.index], score)
+        })
     });
-    dedup_candidates(pairs, config.dirty)
+    dedup_scored(pairs, config.dirty)
 }
 
 #[cfg(test)]
@@ -258,6 +352,80 @@ mod tests {
         assert!(top_k_blocking(&ids(3), &left, &ids(3), &right, &cfg).is_empty());
         assert!(top_k_blocking(&[], &[], &ids(3), &right, &TopKConfig::default()).is_empty());
         assert!(top_k_blocking(&ids(3), &left, &[], &[], &TopKConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn builder_matches_struct_literal_construction() {
+        let built = TopKConfig::new(3)
+            .backend(BlockerBackend::Exact(Metric::Cosine))
+            .dirty(true);
+        assert_eq!(built.k, 3);
+        assert!(built.dirty);
+        assert!(matches!(
+            built.backend,
+            BlockerBackend::Exact(Metric::Cosine)
+        ));
+        // Defaults: HNSW under cosine, clean-clean.
+        let defaulted = TopKConfig::new(7);
+        assert_eq!(defaulted.k, 7);
+        assert!(!defaulted.dirty);
+        assert!(
+            matches!(defaulted.backend, BlockerBackend::Hnsw(ref c) if c.metric == Metric::Cosine)
+        );
+        assert_eq!(defaulted.backend.metric(), Metric::Cosine);
+    }
+
+    #[test]
+    fn scored_candidates_project_onto_the_unscored_path() {
+        let (left, right) = clustered();
+        let left_matrix = EmbeddingMatrix::from_embeddings(&left);
+        let right_matrix = EmbeddingMatrix::from_embeddings(&right);
+        for backend in [
+            BlockerBackend::Exact(Metric::Cosine),
+            BlockerBackend::Exact(Metric::Euclidean),
+            BlockerBackend::Hnsw(HnswConfig::default()),
+            BlockerBackend::Lsh(LshConfig::default()),
+        ] {
+            let config = TopKConfig::new(2).backend(backend);
+            let scored = top_k_blocking_scored_matrix(
+                &ids(3),
+                &left_matrix,
+                &ids(3),
+                &right_matrix,
+                &config,
+            );
+            let plain =
+                top_k_blocking_matrix(&ids(3), &left_matrix, &ids(3), &right_matrix, &config);
+            assert_eq!(
+                scored.iter().map(|p| p.id_pair()).collect::<Vec<_>>(),
+                plain,
+                "{:?}",
+                config.backend
+            );
+            assert!(
+                scored.iter().all(|p| p.score.is_finite()),
+                "{:?}",
+                config.backend
+            );
+        }
+    }
+
+    #[test]
+    fn cosine_scores_are_bit_identical_to_the_kernel() {
+        let (left, right) = clustered();
+        let left_matrix = EmbeddingMatrix::from_embeddings(&left);
+        let right_matrix = EmbeddingMatrix::from_embeddings(&right);
+        let config = TopKConfig::new(3).backend(BlockerBackend::Exact(Metric::Cosine));
+        let scored =
+            top_k_blocking_scored_matrix(&ids(3), &left_matrix, &ids(3), &right_matrix, &config);
+        assert!(!scored.is_empty());
+        for p in scored {
+            let expected = er_core::kernels::cosine(
+                left_matrix.row(p.left.0 as usize),
+                right_matrix.row(p.right.0 as usize),
+            );
+            assert_eq!(p.score.to_bits(), expected.to_bits(), "{p:?}");
+        }
     }
 
     #[test]

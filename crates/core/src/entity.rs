@@ -111,16 +111,40 @@ impl ScoredPair {
     pub fn new(left: EntityId, right: EntityId, score: f32) -> Self {
         ScoredPair { left, right, score }
     }
+
+    /// The `(left, right)` ids without the score — the key blocking dedups
+    /// and the clusterers' output ordering sort on.
+    pub fn id_pair(&self) -> (EntityId, EntityId) {
+        (self.left, self.right)
+    }
+
+    /// Descending-score total order with an id-pair tiebreak: `total_cmp`
+    /// makes it total over every f32 (NaN included), and the tiebreak makes
+    /// sorts independent of input permutation — the determinism UMC's
+    /// greedy acceptance and the threshold sweep rely on.
+    pub fn cmp_score_desc(&self, other: &ScoredPair) -> std::cmp::Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.id_pair().cmp(&other.id_pair()))
+    }
+
+    /// Ascending `(left, right)` order — the canonical order of deduped
+    /// candidate lists and clusterer match sets.
+    pub fn cmp_id_pair(&self, other: &ScoredPair) -> std::cmp::Ordering {
+        self.id_pair().cmp(&other.id_pair())
+    }
 }
 
 /// Sort scored pairs by descending score, with a deterministic tiebreak on
 /// the id pair (stable across runs, which UMC and threshold sweeps need).
 pub fn sort_by_score_desc(pairs: &mut [ScoredPair]) {
-    pairs.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| (a.left, a.right).cmp(&(b.left, b.right)))
-    });
+    pairs.sort_by(|a, b| a.cmp_score_desc(b));
+}
+
+/// Sort scored pairs by ascending `(left, right)` id pair.
+pub fn sort_by_id_pair(pairs: &mut [ScoredPair]) {
+    pairs.sort_by(|a, b| a.cmp_id_pair(b));
 }
 
 /// The set of true matches of a dataset.
@@ -158,6 +182,12 @@ impl GroundTruth {
         } else {
             self.pairs.contains(&(left, right))
         }
+    }
+
+    /// Whether this ground truth is order-free (Dirty ER). Evaluators use
+    /// it to normalize predicted pairs the same way the stored pairs were.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
     }
 
     pub fn len(&self) -> usize {

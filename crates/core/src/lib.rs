@@ -16,6 +16,9 @@ pub mod kernels;
 pub mod matrix;
 pub mod rng;
 
-pub use entity::{Embedding, Entity, EntityId, GroundTruth, ScoredPair, SerializationMode};
+pub use entity::{
+    sort_by_id_pair, sort_by_score_desc, Embedding, Entity, EntityId, GroundTruth, ScoredPair,
+    SerializationMode,
+};
 pub use error::{ErError, Result};
 pub use matrix::{EmbeddingMatrix, VectorSource, VectorStore};

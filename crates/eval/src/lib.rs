@@ -7,10 +7,13 @@
 //! statistics and report writers land with the experiment-binary PR.
 
 pub mod report;
+pub mod stats;
 
 pub use report::{StageReport, StageStats};
+pub use stats::pearson;
 
 use er_core::{EntityId, GroundTruth, ScoredPair};
+use std::collections::BTreeSet;
 
 /// Precision / recall (the paper's "pairs completeness" for blocking) / F1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,24 +52,43 @@ impl Metrics {
     /// ground truth. `recall` is the paper's *pairs completeness* — the
     /// fraction of true matches surviving blocking — and `precision` is
     /// the candidate-set quality (≈ 1 / pairs-quality denominator).
+    ///
+    /// Duplicate predictions are counted **once**: pairs are
+    /// order-normalized to the ground truth's convention (Dirty ER is
+    /// order-free) and deduplicated before counting. The pre-dedup
+    /// implementation counted each duplicate as a fresh true positive,
+    /// letting `tp` exceed `gt.len()` while a `saturating_sub` silently
+    /// clamped the false-negative count — inflating both precision and
+    /// recall.
     pub fn of_candidates(candidates: &[(EntityId, EntityId)], gt: &GroundTruth) -> Metrics {
-        let tp = candidates
-            .iter()
-            .filter(|(l, r)| gt.contains(*l, *r))
-            .count();
-        let fp = candidates.len() - tp;
-        let fn_ = gt.len().saturating_sub(tp);
-        Metrics::from_counts(tp, fp, fn_)
+        Metrics::of_unique_pairs(candidates.iter().copied(), gt)
     }
 
-    /// Score a predicted pair set against the ground truth.
+    /// Score a predicted pair set against the ground truth. Deduplicates
+    /// exactly like [`Metrics::of_candidates`]; scores are ignored.
     pub fn of_pairs(predicted: &[ScoredPair], gt: &GroundTruth) -> Metrics {
-        let tp = predicted
-            .iter()
-            .filter(|p| gt.contains(p.left, p.right))
-            .count();
-        let fp = predicted.len() - tp;
-        let fn_ = gt.len().saturating_sub(tp);
+        Metrics::of_unique_pairs(predicted.iter().map(|p| (p.left, p.right)), gt)
+    }
+
+    fn of_unique_pairs(
+        predicted: impl IntoIterator<Item = (EntityId, EntityId)>,
+        gt: &GroundTruth,
+    ) -> Metrics {
+        let unique: BTreeSet<(EntityId, EntityId)> = predicted
+            .into_iter()
+            .map(|(l, r)| {
+                if gt.is_dirty() && l > r {
+                    (r, l)
+                } else {
+                    (l, r)
+                }
+            })
+            .collect();
+        let tp = unique.iter().filter(|(l, r)| gt.contains(*l, *r)).count();
+        let fp = unique.len() - tp;
+        // Distinct normalized pairs hit distinct ground-truth entries, so
+        // tp ≤ gt.len() holds and the subtraction cannot underflow.
+        let fn_ = gt.len() - tp;
         Metrics::from_counts(tp, fp, fn_)
     }
 }
@@ -126,6 +148,44 @@ mod tests {
         // Empty candidate set against empty ground truth stays finite.
         let zero = Metrics::of_candidates(&[], &GroundTruth::default());
         assert_eq!(zero, Metrics::from_counts(0, 0, 0));
+    }
+
+    #[test]
+    fn duplicate_predictions_no_longer_inflate_the_metrics() {
+        // Regression: the pre-dedup counter saw the same true pair three
+        // times, reported tp = 3 > gt.len() = 2, and saturating_sub hid
+        // the inflation (fn = 0 ⇒ recall 1.0, precision 0.75).
+        let gt = GroundTruth::clean_clean([(EntityId(0), EntityId(0)), (EntityId(1), EntityId(1))]);
+        let predicted = vec![
+            ScoredPair::new(EntityId(0), EntityId(0), 0.9),
+            ScoredPair::new(EntityId(0), EntityId(0), 0.9),
+            ScoredPair::new(EntityId(0), EntityId(0), 0.8),
+            ScoredPair::new(EntityId(5), EntityId(5), 0.7),
+        ];
+        let m = Metrics::of_pairs(&predicted, &gt);
+        assert!((m.precision - 0.5).abs() < 1e-12, "1 unique tp of 2 unique");
+        assert!((m.recall - 0.5).abs() < 1e-12, "1 of 2 true matches found");
+
+        let candidates: Vec<(EntityId, EntityId)> =
+            predicted.iter().map(|p| (p.left, p.right)).collect();
+        assert_eq!(Metrics::of_candidates(&candidates, &gt), m);
+    }
+
+    #[test]
+    fn dirty_ground_truth_merges_flipped_duplicates() {
+        // (2,7) and (7,2) are the same Dirty-ER pair: one tp, not two.
+        let gt = GroundTruth::dirty([(EntityId(2), EntityId(7))]);
+        let predicted = vec![
+            ScoredPair::new(EntityId(2), EntityId(7), 0.9),
+            ScoredPair::new(EntityId(7), EntityId(2), 0.9),
+        ];
+        let m = Metrics::of_pairs(&predicted, &gt);
+        assert_eq!((m.precision, m.recall, m.f1), (1.0, 1.0, 1.0));
+        // Clean-Clean keeps direction: (7,2) is a distinct (false) pair.
+        let cc = GroundTruth::clean_clean([(EntityId(2), EntityId(7))]);
+        let m = Metrics::of_pairs(&predicted, &cc);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert_eq!(m.recall, 1.0);
     }
 
     #[test]

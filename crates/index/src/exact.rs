@@ -3,7 +3,7 @@
 //! contiguous rows of an [`EmbeddingMatrix`] with precomputed row norms,
 //! so a cosine pass reads each stored vector exactly once.
 
-use crate::{Metric, NnIndex};
+use crate::{Metric, Neighbor, NnIndex};
 use er_core::{Embedding, EmbeddingMatrix, VectorSource, VectorStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -86,7 +86,7 @@ impl NnIndex for ExactIndex<'_> {
         self.metric
     }
 
-    fn search_slice(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         if k == 0 {
             return Vec::new();
         }
@@ -104,8 +104,15 @@ impl NnIndex for ExactIndex<'_> {
                 heap.push(Hit { dist, idx });
             }
         }
-        let mut hits: Vec<(usize, f32)> = heap.into_iter().map(|h| (h.idx, h.dist)).collect();
-        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let mut hits: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|h| Neighbor::new(h.idx, h.dist))
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.index.cmp(&b.index))
+        });
         hits
     }
 }
@@ -129,9 +136,9 @@ mod tests {
         assert_eq!(index.metric(), Metric::Euclidean);
         let hits = index.search(&Embedding(vec![0.9, 0.1]), 2);
         assert_eq!(hits.len(), 2);
-        assert_eq!(hits[0].0, 1, "closest point is (1,0)");
-        assert_eq!(hits[1].0, 0);
-        assert!(hits[0].1 <= hits[1].1);
+        assert_eq!(hits[0].index, 1, "closest point is (1,0)");
+        assert_eq!(hits[1].index, 0);
+        assert!(hits[0].distance <= hits[1].distance);
     }
 
     #[test]
@@ -153,7 +160,14 @@ mod tests {
         ];
         let index = ExactIndex::with_metric(&vectors, Metric::Euclidean);
         let hits = index.search(&Embedding(vec![1.0, 0.0]), 3);
-        assert_eq!(hits, vec![(0, 0.0), (1, 5.0), (2, 20.0)]);
+        assert_eq!(
+            hits,
+            vec![
+                Neighbor::new(0, 0.0),
+                Neighbor::new(1, 5.0),
+                Neighbor::new(2, 20.0)
+            ]
+        );
     }
 
     #[test]
@@ -168,17 +182,20 @@ mod tests {
         let index = ExactIndex::with_metric(&vectors, Metric::Cosine);
         assert_eq!(index.metric(), Metric::Cosine);
         let hits = index.search(&Embedding(vec![1.0, 0.0]), 3);
-        assert_eq!(hits[0].0, 0);
-        assert_eq!(hits[1].0, 2, "colinear-ish beats orthogonal under cosine");
-        assert_eq!(hits[2].0, 1);
-        assert!((hits[1].1 - 0.4).abs() < 1e-6);
-        assert!((hits[2].1 - 1.0).abs() < 1e-6);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(
+            hits[1].index, 2,
+            "colinear-ish beats orthogonal under cosine"
+        );
+        assert_eq!(hits[2].index, 1);
+        assert!((hits[1].distance - 0.4).abs() < 1e-6);
+        assert!((hits[2].distance - 1.0).abs() < 1e-6);
 
         // Under Euclidean the order of those two flips: 20 > 5.
         let euclid = ExactIndex::build(&vectors);
         let hits = euclid.search(&Embedding(vec![1.0, 0.0]), 3);
-        assert_eq!(hits[1].0, 1);
-        assert_eq!(hits[2].0, 2);
+        assert_eq!(hits[1].index, 1);
+        assert_eq!(hits[2].index, 2);
     }
 
     #[test]

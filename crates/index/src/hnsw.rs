@@ -19,7 +19,7 @@
 //! heap and neighbour comparison tie-breaks on node id, so one
 //! `(vectors, config)` pair always builds the bit-identical graph.
 
-use crate::{Metric, NnIndex};
+use crate::{Metric, Neighbor, NnIndex};
 use er_core::rng::derive;
 use er_core::{Embedding, EmbeddingMatrix, VectorSource, VectorStore};
 use rand::Rng;
@@ -364,7 +364,7 @@ impl NnIndex for HnswIndex<'_> {
         self.config.metric
     }
 
-    fn search_slice(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         if k == 0 || self.store.is_empty() {
             return Vec::new();
         }
@@ -382,7 +382,7 @@ impl NnIndex for HnswIndex<'_> {
         found
             .into_iter()
             .take(k)
-            .map(|c| (c.id as usize, c.dist))
+            .map(|c| Neighbor::new(c.id as usize, c.dist))
             .collect()
     }
 }
@@ -404,9 +404,9 @@ mod tests {
         assert_eq!(index.len(), 36);
         // Query right on top of node 14 = (2, 2).
         let hits = index.search(&Embedding(vec![2.0, 2.0]), 5);
-        assert_eq!(hits[0], (14, 0.0));
+        assert_eq!(hits[0], Neighbor::new(14, 0.0));
         // The four direct grid neighbours are all at distance 1.
-        let next: Vec<usize> = hits[1..].iter().map(|h| h.0).collect();
+        let next: Vec<usize> = hits[1..].iter().map(|h| h.index).collect();
         assert_eq!(next, vec![8, 13, 15, 20]);
     }
 
@@ -418,7 +418,7 @@ mod tests {
 
         let one = HnswIndex::build(&[Embedding(vec![1.0, 1.0])], HnswConfig::default());
         let hits = one.search(&Embedding(vec![0.0, 0.0]), 5);
-        assert_eq!(hits, vec![(0, 2.0)]);
+        assert_eq!(hits, vec![Neighbor::new(0, 2.0)]);
         assert!(one.search(&Embedding(vec![0.0, 0.0]), 0).is_empty());
     }
 
@@ -438,9 +438,12 @@ mod tests {
         );
         assert_eq!(index.metric(), Metric::Cosine);
         let hits = index.search(&Embedding(vec![1.0, 0.0]), 3);
-        assert_eq!(hits[0].0, 0);
-        assert_eq!(hits[1].0, 2, "cosine ranks colinear-ish above orthogonal");
-        assert!((hits[1].1 - 0.4).abs() < 1e-6);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(
+            hits[1].index, 2,
+            "cosine ranks colinear-ish above orthogonal"
+        );
+        assert!((hits[1].distance - 0.4).abs() < 1e-6);
     }
 
     #[test]
@@ -462,7 +465,11 @@ mod tests {
         // wide beam returns that node first.
         for (id, v) in grid().iter().enumerate() {
             let hits = index.search(v, 1);
-            assert_eq!(hits[0], (id, 0.0), "node {id} unreachable from entry");
+            assert_eq!(
+                hits[0],
+                Neighbor::new(id, 0.0),
+                "node {id} unreachable from entry"
+            );
         }
     }
 

@@ -25,10 +25,30 @@ pub use metric::Metric;
 
 use er_core::{Embedding, EmbeddingMatrix};
 
+/// One search hit: the position of a stored vector and its distance from
+/// the query under the index's [`Metric`] (lower is always closer).
+///
+/// This replaces the bare `(usize, f32)` tuples of the tuple era — the
+/// distance is carried by the same field on every backend, so the blocker
+/// can thread it into a [`er_core::ScoredPair`] without re-deriving it.
+/// Equivalence tests pin the `distance` bits against a tuple-era oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the stored vector (row in the indexed matrix).
+    pub index: usize,
+    /// Distance from the query under [`NnIndex::metric`].
+    pub distance: f32,
+}
+
+impl Neighbor {
+    pub fn new(index: usize, distance: f32) -> Neighbor {
+        Neighbor { index, distance }
+    }
+}
+
 /// A nearest-neighbour index over a fixed set of embeddings. Searches
-/// return up to `k` `(vector index, distance)` hits, nearest first, where
-/// the distance semantics are given by [`NnIndex::metric`] (lower is
-/// always closer).
+/// return up to `k` [`Neighbor`] hits, nearest first, where the distance
+/// semantics are given by [`NnIndex::metric`] (lower is always closer).
 pub trait NnIndex {
     fn len(&self) -> usize;
 
@@ -41,9 +61,9 @@ pub trait NnIndex {
 
     /// Search with a raw query row — the allocation-free primitive every
     /// other search entry point funnels into.
-    fn search_slice(&self, query: &[f32], k: usize) -> Vec<(usize, f32)>;
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
 
-    fn search(&self, query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+    fn search(&self, query: &Embedding, k: usize) -> Vec<Neighbor> {
         self.search_slice(query.as_slice(), k)
     }
 
@@ -54,7 +74,7 @@ pub trait NnIndex {
     /// per-chunk results are reassembled in input order, so the output is
     /// *identical* to calling [`NnIndex::search`] sequentially — blocking an
     /// entire dataset saturates cores without sacrificing determinism.
-    fn search_batch(&self, queries: &[Embedding], k: usize) -> Vec<Vec<(usize, f32)>>
+    fn search_batch(&self, queries: &[Embedding], k: usize) -> Vec<Vec<Neighbor>>
     where
         Self: Sync + Sized,
     {
@@ -64,7 +84,7 @@ pub trait NnIndex {
     /// [`NnIndex::search_batch`] over the rows of an [`EmbeddingMatrix`] —
     /// the pipeline's query path. Same chunking, same in-order reassembly,
     /// bit-identical to sequential [`NnIndex::search_slice`] calls.
-    fn search_batch_rows(&self, queries: &EmbeddingMatrix, k: usize) -> Vec<Vec<(usize, f32)>>
+    fn search_batch_rows(&self, queries: &EmbeddingMatrix, k: usize) -> Vec<Vec<Neighbor>>
     where
         Self: Sync + Sized,
     {
@@ -74,9 +94,9 @@ pub trait NnIndex {
 
 /// Fan `0..n` out over scoped-thread workers in contiguous chunks and
 /// reassemble the per-index results in input order.
-fn batch_by_chunks<F>(n: usize, search_one: F) -> Vec<Vec<(usize, f32)>>
+fn batch_by_chunks<F>(n: usize, search_one: F) -> Vec<Vec<Neighbor>>
 where
-    F: Fn(usize) -> Vec<(usize, f32)> + Sync,
+    F: Fn(usize) -> Vec<Neighbor> + Sync,
 {
     let workers = std::thread::available_parallelism()
         .map(|w| w.get())

@@ -15,7 +15,7 @@
 //! follow it, which makes recall provably non-decreasing in `tables` for a
 //! fixed seed (the candidate union only grows).
 
-use crate::{Metric, NnIndex};
+use crate::{Metric, Neighbor, NnIndex};
 use er_core::rng::derive;
 use er_core::{kernels, Embedding, EmbeddingMatrix, VectorSource, VectorStore};
 use rand::{Rng, RngCore};
@@ -219,13 +219,13 @@ impl NnIndex for HyperplaneLsh<'_> {
         self.config.metric
     }
 
-    fn search_slice(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         if k == 0 {
             return Vec::new();
         }
         let matrix = self.store.matrix();
         let query_norm = self.config.metric.query_norm(query);
-        let mut hits: Vec<(usize, f32)> = self
+        let mut hits: Vec<Neighbor> = self
             .candidates_slice(query)
             .into_iter()
             .map(|id| {
@@ -235,10 +235,14 @@ impl NnIndex for HyperplaneLsh<'_> {
                     matrix.row(id as usize),
                     matrix.norm(id as usize),
                 );
-                (id as usize, dist)
+                Neighbor::new(id as usize, dist)
             })
             .collect();
-        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.index.cmp(&b.index))
+        });
         hits.truncate(k);
         hits
     }
@@ -264,8 +268,8 @@ mod tests {
             // A vector is always a candidate for itself (same signature in
             // every table), so search finds it at distance ~0.
             let hits = lsh.search(v, 1);
-            assert_eq!(hits[0].0, id);
-            assert!(hits[0].1 < 1e-6);
+            assert_eq!(hits[0].index, id);
+            assert!(hits[0].distance < 1e-6);
         }
     }
 

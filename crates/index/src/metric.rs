@@ -62,6 +62,28 @@ impl Metric {
             Metric::Cosine => kernels::norm(query),
         }
     }
+
+    /// The similarity a matcher should consume for a hit this metric
+    /// returned — the scored-candidate contract of the blocker.
+    ///
+    /// Cosine recomputes `cos(a, b)` via [`kernels::cosine_prenorm`] with
+    /// the cached row norms rather than subtracting the hit distance from 1:
+    /// `1 − (1 − c)` drifts from `c` by an ulp whenever `1 − c` rounds
+    /// (every `c < 0.5`), while the prenorm recomputation is bit-identical
+    /// to [`kernels::cosine`] — and hence to
+    /// `er_matching::similarity::cosine` — because the matrices cache
+    /// exactly `kernels::norm(row)`. Squared Euclidean has no bounded
+    /// similarity twin, so it maps the distance monotonically through
+    /// `1 / (1 + d)` ∈ (0, 1]. Both forms are symmetric in `(a, b)` at the
+    /// bit level, which lets Dirty-ER dedup order-normalize pairs without
+    /// rescoring.
+    #[inline]
+    pub fn hit_similarity(&self, a: &[f32], a_norm: f32, b: &[f32], b_norm: f32, dist: f32) -> f32 {
+        match self {
+            Metric::Euclidean => 1.0 / (1.0 + dist),
+            Metric::Cosine => kernels::cosine_prenorm(a, a_norm, b, b_norm),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +144,29 @@ mod tests {
                 assert_eq!(fresh.to_bits(), cached.to_bits(), "{metric:?} {x:?} {y:?}");
             }
         }
+    }
+
+    #[test]
+    fn hit_similarity_matches_the_kernel_cosine_bitwise() {
+        let (a, b, c) = fixture();
+        let z = Embedding::zeros(2);
+        for (x, y) in [(&a, &b), (&a, &c), (&b, &c), (&a, &z), (&z, &z)] {
+            let dist = Metric::Cosine.distance(x, y);
+            let sim =
+                Metric::Cosine.hit_similarity(x.as_slice(), x.norm(), y.as_slice(), y.norm(), dist);
+            assert_eq!(
+                sim.to_bits(),
+                kernels::cosine(x.as_slice(), y.as_slice()).to_bits(),
+                "cosine similarity drifted from the kernel"
+            );
+        }
+        // Euclidean maps distance monotonically into (0, 1].
+        let d_ab = Metric::Euclidean.distance(&a, &b);
+        let d_ac = Metric::Euclidean.distance(&a, &c);
+        let s_ab = Metric::Euclidean.hit_similarity(a.as_slice(), 0.0, b.as_slice(), 0.0, d_ab);
+        let s_ac = Metric::Euclidean.hit_similarity(a.as_slice(), 0.0, c.as_slice(), 0.0, d_ac);
+        assert!(d_ab < d_ac && s_ab > s_ac);
+        assert_eq!(s_ab, 1.0 / 6.0);
     }
 
     #[test]

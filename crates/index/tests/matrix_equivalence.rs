@@ -5,8 +5,10 @@
 //! equals sequential per-slice search.
 
 use er_core::rng::rng;
-use er_core::{Embedding, EmbeddingMatrix};
-use er_index::{ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex};
+use er_core::{kernels, Embedding, EmbeddingMatrix};
+use er_index::{
+    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, Neighbor, NnIndex,
+};
 use rand::Rng;
 
 fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Embedding> {
@@ -18,18 +20,24 @@ fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Embedding> {
 
 /// Distances must match to the bit, not within an epsilon — the matrix
 /// path re-orders no arithmetic.
-fn assert_hits_bit_identical(a: &[Vec<(usize, f32)>], b: &[Vec<(usize, f32)>]) {
+fn assert_hits_bit_identical(a: &[Vec<Neighbor>], b: &[Vec<Neighbor>]) {
     assert_eq!(a.len(), b.len());
     for (qa, qb) in a.iter().zip(b) {
         assert_eq!(qa.len(), qb.len());
-        for ((ia, da), (ib, db)) in qa.iter().zip(qb) {
-            assert_eq!(ia, ib);
-            assert_eq!(da.to_bits(), db.to_bits(), "distance drifted: {da} vs {db}");
+        for (na, nb) in qa.iter().zip(qb) {
+            assert_eq!(na.index, nb.index);
+            assert_eq!(
+                na.distance.to_bits(),
+                nb.distance.to_bits(),
+                "distance drifted: {} vs {}",
+                na.distance,
+                nb.distance
+            );
         }
     }
 }
 
-fn search_all<I: NnIndex>(index: &I, queries: &[Embedding], k: usize) -> Vec<Vec<(usize, f32)>> {
+fn search_all<I: NnIndex>(index: &I, queries: &[Embedding], k: usize) -> Vec<Vec<Neighbor>> {
     queries.iter().map(|q| index.search(q, k)).collect()
 }
 
@@ -106,4 +114,52 @@ fn batched_matrix_queries_equal_sequential_slice_search() {
     assert_eq!(index.search_batch_rows(&query_matrix, 10), sequential);
     // And the legacy Vec<Embedding> batch API agrees with the matrix batch.
     assert_hits_bit_identical(&index.search_batch(&queries, 10), &sequential);
+}
+
+/// The tuple-era oracle: a verbatim brute-force scan returning the bare
+/// `(usize, f32)` hits searches used to emit before [`Neighbor`].
+fn tuple_era_scan(
+    vectors: &[Embedding],
+    query: &Embedding,
+    metric: Metric,
+    k: usize,
+) -> Vec<(usize, f32)> {
+    let mut hits: Vec<(usize, f32)> = vectors
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let dist = match metric {
+                Metric::Euclidean => kernels::squared_euclidean(query.as_slice(), v.as_slice()),
+                Metric::Cosine => 1.0 - kernels::cosine(query.as_slice(), v.as_slice()),
+            };
+            (i, dist)
+        })
+        .collect();
+    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    hits.truncate(k);
+    hits
+}
+
+/// The `Neighbor` redesign must not perturb a single bit: every hit's
+/// `(index, distance)` equals the tuple the old API returned.
+#[test]
+fn neighbor_hits_are_bit_identical_to_the_tuple_era() {
+    let vectors = random_vectors(200, 24, 51);
+    let queries = random_vectors(25, 24, 52);
+    for metric in [Metric::Euclidean, Metric::Cosine] {
+        let index = ExactIndex::with_metric(&vectors, metric);
+        for q in &queries {
+            let hits = index.search(q, 10);
+            let oracle = tuple_era_scan(&vectors, q, metric, 10);
+            assert_eq!(hits.len(), oracle.len());
+            for (n, (idx, dist)) in hits.iter().zip(&oracle) {
+                assert_eq!(n.index, *idx, "{metric:?}");
+                assert_eq!(
+                    n.distance.to_bits(),
+                    dist.to_bits(),
+                    "{metric:?}: distance drifted from the tuple era"
+                );
+            }
+        }
+    }
 }

@@ -26,8 +26,8 @@ fn recall_at_k(
     let mut hit = 0usize;
     let mut total = 0usize;
     for q in queries {
-        let truth: Vec<usize> = exact.search(q, k).into_iter().map(|(i, _)| i).collect();
-        let approx: Vec<usize> = index.search(q, k).into_iter().map(|(i, _)| i).collect();
+        let truth: Vec<usize> = exact.search(q, k).into_iter().map(|n| n.index).collect();
+        let approx: Vec<usize> = index.search(q, k).into_iter().map(|n| n.index).collect();
         total += truth.len();
         hit += truth.iter().filter(|i| approx.contains(i)).count();
     }

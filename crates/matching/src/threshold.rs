@@ -1,0 +1,164 @@
+//! The threshold sweep of the paper's Fig. 15: run a clusterer at every
+//! δ ∈ {0.05, 0.10, …, 0.95} over one scored candidate list, score each
+//! δ's matches against the ground truth, and report the per-δ
+//! [`Metrics`] curve plus the best-F1 operating point. The sweep is what
+//! turns "UMC with some threshold" into a concrete, reproducible
+//! configuration — the paper reads its headline unsupervised-matching
+//! numbers off exactly this curve.
+
+use crate::clusterers::Clusterer;
+use er_core::{GroundTruth, ScoredPair};
+use er_eval::Metrics;
+
+/// One evaluated operating point of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The similarity threshold the clusterer ran at.
+    pub delta: f32,
+    /// The matches the clusterer produced at this δ.
+    pub matches: Vec<ScoredPair>,
+    /// Precision/recall/F1 of those matches against the ground truth.
+    pub metrics: Metrics,
+}
+
+/// The per-δ curve of one clusterer over one candidate list.
+#[derive(Debug, Clone)]
+pub struct ThresholdSweep {
+    /// Which clusterer produced the curve.
+    pub clusterer: Clusterer,
+    /// One point per δ, in ascending-δ order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ThresholdSweep {
+    /// The paper's δ grid: 0.05 to 0.95 in steps of 0.05 (Fig. 15).
+    pub fn paper_deltas() -> Vec<f32> {
+        (1..=19).map(|i| i as f32 * 0.05).collect()
+    }
+
+    /// Sweep Unique Mapping Clustering — the paper's default matcher —
+    /// over the paper's δ grid.
+    pub fn run(pairs: &[ScoredPair], gt: &GroundTruth) -> ThresholdSweep {
+        ThresholdSweep::run_with(pairs, gt, Clusterer::UniqueMapping, &Self::paper_deltas())
+    }
+
+    /// Sweep an arbitrary clusterer over an arbitrary δ grid.
+    pub fn run_with(
+        pairs: &[ScoredPair],
+        gt: &GroundTruth,
+        clusterer: Clusterer,
+        deltas: &[f32],
+    ) -> ThresholdSweep {
+        let points = deltas
+            .iter()
+            .map(|&delta| {
+                let matches = clusterer.cluster(pairs, delta);
+                let metrics = Metrics::of_pairs(&matches, gt);
+                SweepPoint {
+                    delta,
+                    matches,
+                    metrics,
+                }
+            })
+            .collect();
+        ThresholdSweep { clusterer, points }
+    }
+
+    /// The best-F1 operating point; the *lowest* δ wins ties, matching the
+    /// paper's preference for recall when F1 is indifferent. `None` only
+    /// for an empty grid.
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points.iter().reduce(|best, point| {
+            if point.metrics.f1 > best.metrics.f1 {
+                point
+            } else {
+                best
+            }
+        })
+    }
+
+    /// The F1 values in δ order — the curve the Fig. 2 correlation check
+    /// (`er_eval::pearson`) compares across clusterers.
+    pub fn f1_curve(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.metrics.f1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::EntityId;
+    use er_eval::pearson;
+
+    fn pair(l: u32, r: u32, s: f32) -> ScoredPair {
+        ScoredPair::new(EntityId(l), EntityId(r), s)
+    }
+
+    /// Three true matches at high scores, two decoys at low scores. The
+    /// decoys pair otherwise-unmatched entities, so no clusterer can
+    /// reject them structurally — only δ filters them out.
+    fn fixture() -> (Vec<ScoredPair>, GroundTruth) {
+        let pairs = vec![
+            pair(0, 0, 0.92),
+            pair(1, 1, 0.88),
+            pair(2, 2, 0.79),
+            pair(3, 4, 0.32),
+            pair(5, 6, 0.11),
+        ];
+        let gt = GroundTruth::clean_clean((0..3).map(|i| (EntityId(i), EntityId(i))));
+        (pairs, gt)
+    }
+
+    #[test]
+    fn sweeps_the_paper_grid_and_finds_the_best_delta() {
+        let (pairs, gt) = fixture();
+        let sweep = ThresholdSweep::run(&pairs, &gt);
+        assert_eq!(sweep.points.len(), 19);
+        assert_eq!(sweep.clusterer, Clusterer::UniqueMapping);
+        let best = sweep.best().expect("non-empty grid");
+        assert_eq!(best.metrics.f1, 1.0);
+        // F1 is perfect on [0.35, 0.79]: decoys gone, matches kept. The
+        // tie-break picks the lowest such δ on the grid.
+        assert!((best.delta - 0.35).abs() < 1e-6, "{}", best.delta);
+    }
+
+    #[test]
+    fn match_count_is_monotone_non_increasing_in_delta() {
+        let (pairs, gt) = fixture();
+        let sweep = ThresholdSweep::run(&pairs, &gt);
+        for w in sweep.points.windows(2) {
+            assert!(
+                w[0].matches.len() >= w[1].matches.len(),
+                "δ={} has fewer matches than δ={}",
+                w[0].delta,
+                w[1].delta
+            );
+        }
+    }
+
+    #[test]
+    fn clusterer_curves_are_strongly_correlated_on_easy_data() {
+        // The Fig. 2 generality check in miniature: UMC, CC and Kiraly
+        // produce near-identical F1 curves on well-separated scores.
+        let (pairs, gt) = fixture();
+        let umc = ThresholdSweep::run(&pairs, &gt).f1_curve();
+        for clusterer in [Clusterer::ConnectedComponents, Clusterer::Kiraly] {
+            let other =
+                ThresholdSweep::run_with(&pairs, &gt, clusterer, &ThresholdSweep::paper_deltas())
+                    .f1_curve();
+            let r = pearson(&umc, &other);
+            assert!(r > 0.9, "{clusterer:?} decorrelated from UMC: r = {r}");
+        }
+    }
+
+    #[test]
+    fn empty_grid_and_empty_candidates_stay_well_defined() {
+        let (pairs, gt) = fixture();
+        let empty_grid = ThresholdSweep::run_with(&pairs, &gt, Clusterer::UniqueMapping, &[]);
+        assert!(empty_grid.best().is_none());
+        let no_candidates = ThresholdSweep::run(&[], &gt);
+        let best = no_candidates.best().expect("grid is non-empty");
+        assert_eq!(best.metrics.f1, 0.0);
+        assert!(best.matches.is_empty());
+    }
+}

@@ -73,27 +73,37 @@ fn main() {
         ),
     ];
     let pipeline = Pipeline::new(ft.as_ref(), SerializationMode::SchemaAgnostic);
-    let mut last_report = None;
     for (name, backend) in backends {
-        let config = TopKConfig {
-            k: 10,
-            backend,
-            dirty: false,
-        };
+        let config = TopKConfig::new(10).backend(backend);
         let outcome = pipeline.block(&ds.left, &ds.right, &config);
-        let metrics = Metrics::of_candidates(&outcome.candidates, &ds.ground_truth);
+        let metrics = Metrics::of_candidates(&outcome.candidates(), &ds.ground_truth);
         println!(
             "  {name:<17} {:.3}                {:>6}      {:>5.1}%",
             metrics.recall,
-            outcome.candidates.len(),
-            100.0 * outcome.candidates.len() as f64 / cross as f64
+            outcome.scored.len(),
+            100.0 * outcome.scored.len() as f64 / cross as f64
         );
-        last_report = Some(outcome.report);
     }
     println!("\nTop-10 blocking keeps pairs-completeness near 1 while pruning");
     println!("~90% of the cross-product — the paper's Fig. 3/12 trade-off.");
-    if let Some(report) = last_report {
-        println!("\nper-stage wall-clock of the last run (Pipeline::block):");
-        println!("{report}");
-    }
+
+    // Stage 3 — unsupervised matching. Resolve end to end: exact-cosine
+    // top-10 blocking, then Unique Mapping Clustering threshold-swept
+    // over the paper's δ grid (Fig. 15) against the ground truth.
+    let config = ResolveConfig {
+        blocking: TopKConfig::new(10).backend(BlockerBackend::Exact(Metric::Cosine)),
+        ..ResolveConfig::default()
+    };
+    let outcome = pipeline.resolve(&ds.left, &ds.right, &ds.ground_truth, &config);
+    let best = outcome.sweep.best().expect("paper grid is non-empty");
+    println!(
+        "\nmatching with UMC: best δ = {:.2} → {} matches, P {:.3} R {:.3} F1 {:.3}",
+        outcome.best_delta,
+        outcome.matches.len(),
+        best.metrics.precision,
+        best.metrics.recall,
+        best.metrics.f1
+    );
+    println!("\nper-stage wall-clock (Pipeline::resolve):");
+    println!("{}", outcome.report);
 }

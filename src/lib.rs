@@ -4,13 +4,15 @@
 //! system inventory and ROADMAP.md for what has landed.
 //!
 //! The facade re-exports every subsystem crate and offers a [`prelude`]
-//! plus the first two stages of the paper's Figure 1 pipeline:
-//! vectorization ([`vectorize`] / [`vectorize_matrix`]) over a pre-trained
-//! [`ModelZoo`] and embedding top-k blocking ([`block`]) over the ANN
-//! indices. The [`Pipeline`] builder runs both stages over columnar
+//! plus the paper's Figure 1 pipeline: vectorization ([`vectorize`] /
+//! [`vectorize_matrix`]) over a pre-trained [`ModelZoo`], embedding top-k
+//! blocking ([`block`]) over the ANN indices, and unsupervised matching
+//! ([`Pipeline::resolve`]): Unique Mapping Clustering (or any
+//! [`matching::Clusterer`]) threshold-swept over the scored candidates.
+//! The [`Pipeline`] builder runs every stage over columnar
 //! [`core::EmbeddingMatrix`] storage — each collection embedded exactly
 //! once, indices borrowing the matrix zero-copy — and returns a
-//! [`eval::StageReport`] of per-stage wall-clock alongside the candidates.
+//! [`eval::StageReport`] of per-stage wall-clock alongside the results.
 //!
 //! ```
 //! use embeddings4er::prelude::*;
@@ -33,7 +35,7 @@ pub use er_text as text;
 
 pub mod pipeline;
 
-pub use pipeline::{vectorize_matrix, BlockOutcome, Pipeline};
+pub use pipeline::{vectorize_matrix, BlockOutcome, Pipeline, ResolveConfig, ResolveOutcome};
 
 use er_blocking::TopKConfig;
 use er_core::{Embedding, Entity, EntityId, SerializationMode};
@@ -42,23 +44,30 @@ use er_embed::LanguageModel;
 /// Everything needed to drive the pipeline end to end.
 pub mod prelude {
     pub use er_blocking::{
-        dedup_candidates, top_k_blocking, top_k_blocking_matrix, BlockerBackend, TopKConfig,
+        dedup_candidates, dedup_scored, top_k_blocking, top_k_blocking_matrix,
+        top_k_blocking_scored_matrix, BlockerBackend, TopKConfig,
     };
     pub use er_core::rng::rng;
     pub use er_core::{
-        Embedding, EmbeddingMatrix, Entity, EntityId, ErError, GroundTruth, Result, ScoredPair,
-        SerializationMode,
+        sort_by_id_pair, sort_by_score_desc, Embedding, EmbeddingMatrix, Entity, EntityId, ErError,
+        GroundTruth, Result, ScoredPair, SerializationMode,
     };
     pub use er_datasets::{CleanCleanDataset, DatasetId, DatasetProfile};
     pub use er_embed::{AnyModel, LanguageModel, ModelCode, ModelZoo, ZooConfig};
-    pub use er_eval::{Metrics, StageReport};
+    pub use er_eval::{pearson, Metrics, StageReport};
     pub use er_index::{
-        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex,
+        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, Neighbor, NnIndex,
+    };
+    pub use er_matching::{
+        best_match_clustering, connected_components_clustering, kiraly_clustering,
+        unique_mapping_clustering, Clusterer, SweepPoint, ThresholdSweep,
     };
     pub use er_text::corpus::synthetic_corpus;
     pub use er_text::{normalize, tokenize, Corpus};
 
-    pub use crate::{block, vectorize, vectorize_matrix, BlockOutcome, Pipeline};
+    pub use crate::{
+        block, vectorize, vectorize_matrix, BlockOutcome, Pipeline, ResolveConfig, ResolveOutcome,
+    };
 }
 
 pub use er_embed::{ModelCode, ModelZoo, ZooConfig};
@@ -93,7 +102,7 @@ pub fn block(
 ) -> Vec<(EntityId, EntityId)> {
     Pipeline::new(model, mode.clone())
         .block(left, right, config)
-        .candidates
+        .candidates()
 }
 
 #[cfg(test)]

@@ -8,16 +8,66 @@
 //! the same slice was passed as both sides; the free function is now a
 //! thin wrapper over this type, so both emit byte-identical candidates.
 
-use er_blocking::{top_k_blocking_matrix, TopKConfig};
-use er_core::{EmbeddingMatrix, Entity, EntityId, SerializationMode};
+use er_blocking::{top_k_blocking_scored_matrix, TopKConfig};
+use er_core::{EmbeddingMatrix, Entity, EntityId, GroundTruth, ScoredPair, SerializationMode};
 use er_embed::LanguageModel;
 use er_eval::StageReport;
+use er_matching::{Clusterer, ThresholdSweep};
 
-/// What [`Pipeline::block`] returns: the deduplicated candidate pairs and
-/// the per-stage timing report.
+/// What [`Pipeline::block`] returns: the deduplicated *scored* candidate
+/// pairs (the contract every matcher consumes — see
+/// [`top_k_blocking_scored_matrix`]) and the per-stage timing report.
 #[derive(Debug, Clone)]
 pub struct BlockOutcome {
-    pub candidates: Vec<(EntityId, EntityId)>,
+    /// Candidates with the similarity threaded out of the index, sorted by
+    /// `(left, right)`.
+    pub scored: Vec<ScoredPair>,
+    pub report: StageReport,
+}
+
+impl BlockOutcome {
+    /// The legacy unscored view: the same candidates, scores projected
+    /// away, in the same order.
+    pub fn candidates(&self) -> Vec<(EntityId, EntityId)> {
+        self.scored.iter().map(|p| p.id_pair()).collect()
+    }
+}
+
+/// Configuration of a full [`Pipeline::resolve`] run: blocking plus the
+/// unsupervised matching stage swept over a δ grid.
+#[derive(Debug, Clone)]
+pub struct ResolveConfig {
+    pub blocking: TopKConfig,
+    /// The clusterer run at every δ (UMC is the paper's default, §4.3).
+    pub clusterer: Clusterer,
+    /// δ grid for the threshold sweep; `None` means the paper's
+    /// 0.05..=0.95 grid of Fig. 15.
+    pub deltas: Option<Vec<f32>>,
+}
+
+impl Default for ResolveConfig {
+    fn default() -> Self {
+        ResolveConfig {
+            blocking: TopKConfig::default(),
+            clusterer: Clusterer::UniqueMapping,
+            deltas: None,
+        }
+    }
+}
+
+/// What [`Pipeline::resolve`] returns: the matches at the best-F1 δ, the
+/// scored candidates they were clustered from, the full per-δ sweep, and
+/// the stage timings (`vectorize*`, `block`, `sweep`, `match`).
+#[derive(Debug, Clone)]
+pub struct ResolveOutcome {
+    /// The clusterer's matches at [`ResolveOutcome::best_delta`].
+    pub matches: Vec<ScoredPair>,
+    /// The scored candidate pairs blocking produced.
+    pub candidates: Vec<ScoredPair>,
+    /// The per-δ metrics curve (Fig. 15).
+    pub sweep: ThresholdSweep,
+    /// The best-F1 threshold of the sweep (lowest δ wins ties).
+    pub best_delta: f32,
     pub report: StageReport,
 }
 
@@ -70,8 +120,8 @@ impl<'m> Pipeline<'m> {
         };
         let left_ids: Vec<EntityId> = left.iter().map(|e| e.id).collect();
         let right_ids: Vec<EntityId> = right.iter().map(|e| e.id).collect();
-        let candidates = report.time("block", || {
-            let c = top_k_blocking_matrix(
+        let scored = report.time("block", || {
+            let c = top_k_blocking_scored_matrix(
                 &left_ids,
                 &left_matrix,
                 &right_ids,
@@ -81,7 +131,48 @@ impl<'m> Pipeline<'m> {
             let pairs = c.len();
             (c, pairs)
         });
-        BlockOutcome { candidates, report }
+        BlockOutcome { scored, report }
+    }
+
+    /// Run the full Figure 1 pipeline: vectorize → block → threshold-swept
+    /// unsupervised matching, evaluated against `gt` at every δ. The
+    /// returned matches are the clusterer's output at the sweep's best-F1
+    /// δ, and the report gains `sweep` and `match` stages on top of the
+    /// blocking stages (`sweep` items = δ grid points, `match` items =
+    /// matches at the best δ).
+    pub fn resolve(
+        &self,
+        left: &[Entity],
+        right: &[Entity],
+        gt: &GroundTruth,
+        config: &ResolveConfig,
+    ) -> ResolveOutcome {
+        let BlockOutcome {
+            scored: candidates,
+            mut report,
+        } = self.block(left, right, &config.blocking);
+        let sweep = report.time("sweep", || {
+            let deltas = config
+                .deltas
+                .clone()
+                .unwrap_or_else(ThresholdSweep::paper_deltas);
+            let sweep = ThresholdSweep::run_with(&candidates, gt, config.clusterer, &deltas);
+            let points = sweep.points.len();
+            (sweep, points)
+        });
+        let best_delta = sweep.best().map(|p| p.delta).unwrap_or(0.0);
+        let matches = report.time("match", || {
+            let matches = config.clusterer.cluster(&candidates, best_delta);
+            let count = matches.len();
+            (matches, count)
+        });
+        ResolveOutcome {
+            matches,
+            candidates,
+            sweep,
+            best_delta,
+            report,
+        }
     }
 }
 
@@ -187,7 +278,7 @@ mod tests {
         };
         let outcome = Pipeline::new(model.as_ref(), mode.clone()).block(&left, &right, &config);
         let legacy = crate::block(model.as_ref(), &left, &right, &mode, &config);
-        assert_eq!(outcome.candidates, legacy);
+        assert_eq!(outcome.candidates(), legacy);
         let stages: Vec<&str> = outcome
             .report
             .stages()
@@ -198,7 +289,7 @@ mod tests {
         assert_eq!(outcome.report.get("vectorize-left").unwrap().items, 20);
         assert_eq!(
             outcome.report.get("block").unwrap().items,
-            outcome.candidates.len()
+            outcome.scored.len()
         );
     }
 
@@ -225,7 +316,52 @@ mod tests {
         assert_eq!(stages, vec!["vectorize", "block"]);
         // And the candidates still equal the double-embedding legacy path.
         let legacy = crate::block(model.as_ref(), &collection, &collection, &mode, &config);
-        assert_eq!(outcome.candidates, legacy);
-        assert!(outcome.candidates.iter().all(|(a, b)| a < b));
+        assert_eq!(outcome.candidates(), legacy);
+        assert!(outcome.scored.iter().all(|p| p.left < p.right));
+    }
+
+    #[test]
+    fn resolve_adds_sweep_and_match_stages_and_reuses_the_best_delta() {
+        use er_core::GroundTruth;
+        let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), 42);
+        let model = zoo.get(ModelCode::FT);
+        // Left and right are near-duplicates: i matches i.
+        let left = entities(12, "alpha");
+        let right = entities(12, "alpha");
+        let gt = GroundTruth::clean_clean((0..12).map(|i| (EntityId(i), EntityId(i))));
+        let config = ResolveConfig {
+            blocking: TopKConfig::new(3).backend(BlockerBackend::Exact(Metric::Cosine)),
+            ..ResolveConfig::default()
+        };
+        let pipeline = Pipeline::new(model.as_ref(), SerializationMode::SchemaAgnostic);
+        let outcome = pipeline.resolve(&left, &right, &gt, &config);
+        let stages: Vec<&str> = outcome
+            .report
+            .stages()
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        assert_eq!(
+            stages,
+            vec![
+                "vectorize-left",
+                "vectorize-right",
+                "block",
+                "sweep",
+                "match"
+            ]
+        );
+        assert_eq!(outcome.report.get("sweep").unwrap().items, 19);
+        assert_eq!(
+            outcome.report.get("match").unwrap().items,
+            outcome.matches.len()
+        );
+        // The reported matches are exactly the best sweep point's matches.
+        let best = outcome.sweep.best().expect("non-empty grid");
+        assert_eq!(best.delta, outcome.best_delta);
+        assert_eq!(best.matches, outcome.matches);
+        // Identical serializations embed identically: resolve must find
+        // every i ↔ i pair at the best δ.
+        assert_eq!(best.metrics.f1, 1.0);
     }
 }

@@ -22,14 +22,10 @@ fn d1_candidates(
 }
 
 fn hnsw_config() -> TopKConfig {
-    TopKConfig {
-        k: 10,
-        backend: BlockerBackend::Hnsw(HnswConfig {
-            metric: Metric::Cosine,
-            ..HnswConfig::default()
-        }),
-        dirty: false,
-    }
+    TopKConfig::new(10).backend(BlockerBackend::Hnsw(HnswConfig {
+        metric: Metric::Cosine,
+        ..HnswConfig::default()
+    }))
 }
 
 #[test]
@@ -91,11 +87,7 @@ fn batched_blocking_queries_match_sequential_search() {
 fn exact_backend_is_at_least_as_complete_as_hnsw() {
     let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), 42);
     let (ds, hnsw) = d1_candidates(&zoo, &hnsw_config());
-    let exact_config = TopKConfig {
-        k: 10,
-        backend: BlockerBackend::Exact(Metric::Cosine),
-        dirty: false,
-    };
+    let exact_config = TopKConfig::new(10).backend(BlockerBackend::Exact(Metric::Cosine));
     let (_, exact) = d1_candidates(&zoo, &exact_config);
     let pc_hnsw = Metrics::of_candidates(&hnsw, &ds.ground_truth).recall;
     let pc_exact = Metrics::of_candidates(&exact, &ds.ground_truth).recall;

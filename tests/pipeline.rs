@@ -34,7 +34,7 @@ fn noisy_duplicate_retrieves_its_clean_record() {
     let hits = index.search(&q, 1);
     assert_eq!(hits.len(), 1);
     assert_eq!(
-        hits[0].0, 0,
+        hits[0].index, 0,
         "nearest neighbour should be the clean duplicate"
     );
 }

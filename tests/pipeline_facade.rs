@@ -44,12 +44,12 @@ fn pipeline_block_is_byte_identical_to_the_pre_refactor_path_on_d1() {
 
     let outcome = Pipeline::new(model.as_ref(), mode.clone()).block(&ds.left, &ds.right, &config);
     let oracle = pre_refactor_block(model.as_ref(), &ds.left, &ds.right, &mode, &config);
-    assert_eq!(outcome.candidates, oracle);
-    assert!(!outcome.candidates.is_empty());
+    assert_eq!(outcome.candidates(), oracle);
+    assert!(!outcome.scored.is_empty());
 
     // The free function is a wrapper over the Pipeline — same bytes again.
     let wrapped = block(model.as_ref(), &ds.left, &ds.right, &mode, &config);
-    assert_eq!(outcome.candidates, wrapped);
+    assert_eq!(outcome.candidates(), wrapped);
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn pipeline_reports_every_stage_with_wall_clock_and_counts() {
     );
     assert_eq!(
         outcome.report.get("block").unwrap().items,
-        outcome.candidates.len()
+        outcome.scored.len()
     );
     assert!(outcome.report.total_wall() > std::time::Duration::ZERO);
 }
@@ -105,7 +105,7 @@ fn dirty_er_pipeline_embeds_once_and_matches_the_double_embed_oracle() {
     let outcome =
         Pipeline::new(model.as_ref(), mode.clone()).block(&collection, &collection, &config);
     let oracle = pre_refactor_block(model.as_ref(), &collection, &collection, &mode, &config);
-    assert_eq!(outcome.candidates, oracle);
+    assert_eq!(outcome.candidates(), oracle);
 
     // The shared collection was detected by identity: one vectorize stage.
     let stages: Vec<&str> = outcome
@@ -115,5 +115,5 @@ fn dirty_er_pipeline_embeds_once_and_matches_the_double_embed_oracle() {
         .map(|s| s.stage.as_str())
         .collect();
     assert_eq!(stages, vec!["vectorize", "block"]);
-    assert!(outcome.candidates.iter().all(|(a, b)| a < b));
+    assert!(outcome.scored.iter().all(|p| p.left < p.right));
 }
