@@ -1,6 +1,13 @@
 //! Criterion micro-benchmarks behind Table 4: per-sentence vectorization
 //! cost per model category — static lookup vs transformer forward pass,
 //! with the S-MiniLM-vs-full-size contrast.
+//!
+//! Roster status: WC/GE/FT (static lookup) and BT (the MLM-pre-trained
+//! transformer, the first dynamic model — its forward pass is the
+//! expensive category the table contrasts) are live in the zoo today;
+//! DT/S5/SM stay in the list as the API contract for later PRs and make
+//! `zoo.get` panic until they land, which is why this bench is gated
+//! (`test = false`) rather than run by default.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use er_bench::SEED;

@@ -4,10 +4,16 @@
 //! `serde`/`serde_json` are unavailable; the zoo cache (DESIGN.md inventory
 //! row 27) is small enough that a hand-rolled value type suffices.
 //!
-//! `f32` values round-trip **bit-exactly**: they are written with Rust's
-//! shortest-round-trip `Display` and re-parsed with `str::parse::<f32>`,
-//! both of which are correctly rounded. Non-finite floats are rejected at
-//! write time — models assert finiteness before saving.
+//! Finite `f32` values round-trip **bit-exactly**: they are written with
+//! Rust's shortest-round-trip `Display` and re-parsed with
+//! `str::parse::<f32>`, both of which are correctly rounded. Non-finite
+//! floats have no JSON number representation (`NaN` bare would be an
+//! invalid token), so [`Json::from_f32`] writes them as the string
+//! sentinels `"NaN"` / `"inf"` / `"-inf"` — still valid JSON — and
+//! [`Json::as_f32`] maps exactly those three strings back. A degenerate
+//! (diverged) trained model therefore saves a cache that *re-loads*,
+//! rather than one that can never be parsed again; any other string where
+//! a number is expected is a clear [`ErError::Parse`].
 
 use crate::error::{ErError, Result};
 use std::fmt::Write as _;
@@ -29,9 +35,19 @@ pub enum Json {
 impl Json {
     // ---- constructors ----------------------------------------------------
 
+    /// Serialize an `f32`. Finite values become JSON numbers (bit-exact on
+    /// re-parse); NaN and ±Inf become the string sentinels `"NaN"`,
+    /// `"inf"`, `"-inf"` that [`Json::as_f32`] understands.
     pub fn from_f32(v: f32) -> Json {
-        assert!(v.is_finite(), "cannot serialize non-finite float: {v}");
-        Json::Num(format!("{v}"))
+        if v.is_finite() {
+            Json::Num(format!("{v}"))
+        } else if v.is_nan() {
+            Json::Str("NaN".to_string())
+        } else if v > 0.0 {
+            Json::Str("inf".to_string())
+        } else {
+            Json::Str("-inf".to_string())
+        }
     }
 
     pub fn from_u64(v: u64) -> Json {
@@ -72,11 +88,22 @@ impl Json {
         }
     }
 
+    /// Read an `f32`: a JSON number, or one of the non-finite sentinels
+    /// `"NaN"` / `"inf"` / `"-inf"` written by [`Json::from_f32`]. Any
+    /// other string is an error — finite floats never hide in strings.
     pub fn as_f32(&self) -> Result<f32> {
         match self {
             Json::Num(raw) => raw
                 .parse::<f32>()
                 .map_err(|e| ErError::Parse(format!("bad f32 `{raw}`: {e}"))),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Ok(f32::NAN),
+                "inf" => Ok(f32::INFINITY),
+                "-inf" => Ok(f32::NEG_INFINITY),
+                other => Err(ErError::Parse(format!(
+                    "expected number or non-finite sentinel, got string `{other}`"
+                ))),
+            },
             other => Err(ErError::Parse(format!("expected number, got {other:?}"))),
         }
     }
@@ -449,6 +476,28 @@ mod tests {
             let back = Json::parse(&json.to_string()).unwrap().as_f32().unwrap();
             assert_eq!(v.to_bits(), back.to_bits(), "value {v} changed bits");
         }
+    }
+
+    #[test]
+    fn non_finite_f32s_round_trip_via_sentinels() {
+        // NaN / ±Inf cannot be JSON numbers; they must survive a full
+        // write → parse → read cycle as the string sentinels, so a
+        // degenerate trained model still produces a loadable cache.
+        let json = Json::from_f32_slice(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.5]);
+        let text = json.to_string();
+        assert_eq!(text, r#"["NaN","inf","-inf",1.5]"#);
+        let back = Json::parse(&text).unwrap().as_f32_vec().unwrap();
+        assert!(back[0].is_nan());
+        assert_eq!(back[1], f32::INFINITY);
+        assert_eq!(back[2], f32::NEG_INFINITY);
+        assert_eq!(back[3].to_bits(), 1.5f32.to_bits());
+    }
+
+    #[test]
+    fn arbitrary_strings_are_not_numbers() {
+        assert!(Json::Str("1.5".to_string()).as_f32().is_err());
+        assert!(Json::Str("Infinity".to_string()).as_f32().is_err());
+        assert!(Json::Null.as_f32().is_err());
     }
 
     #[test]

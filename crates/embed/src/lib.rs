@@ -1,22 +1,30 @@
 //! er-embed — the language-model zoo (DESIGN.md inventory rows 3–9).
 //!
-//! This PR implements the three **static** models from scratch — Word2Vec
+//! The three **static** models are implemented from scratch — Word2Vec
 //! (SGNS), GloVe (co-occurrence + AdaGrad) and FastText (char-n-gram SGNS
-//! over hashed buckets) — unified behind the [`LanguageModel`] trait and
-//! pre-trained deterministically by [`ModelZoo::pretrain`]. The transformer
-//! family (BT/AT/RA/DT/XT) and the SBERT family (ST/S5/SA/SM) land in later
-//! PRs on top of `er-tensor`; their [`ModelCode`]s are already defined so
-//! the benchmark suite can enumerate the full roster.
+//! over hashed buckets) — alongside the first **dynamic** model: a
+//! from-scratch [`Transformer`] encoder pre-trained with a genuine
+//! masked-language-model objective ([`mlm::pretrain_bt`]) over the
+//! `er-tensor` autograd engine, registered as paper model **BT**. All are
+//! unified behind the [`LanguageModel`] trait and pre-trained
+//! deterministically by [`ModelZoo::pretrain`]. The remaining transformer
+//! variants (AT/RA/DT/XT) and the SBERT family (ST/S5/SA/SM) land in later
+//! PRs; their [`ModelCode`]s are already defined so the benchmark suite
+//! can enumerate the full roster.
 
 pub mod fasttext;
 pub mod glove;
+pub mod mlm;
 mod sgns;
+pub mod transformer;
 pub mod vocab;
 pub mod word2vec;
 pub mod zoo;
 
 pub use fasttext::{FastText, FastTextParams};
 pub use glove::{Glove, GloveParams};
+pub use mlm::MlmParams;
+pub use transformer::{Transformer, TransformerConfig};
 pub use vocab::Vocab;
 pub use word2vec::{SgnsParams, Word2Vec};
 pub use zoo::{AnyModel, ModelZoo, ZooConfig};
@@ -33,7 +41,7 @@ pub enum ModelCode {
     GE,
     /// FastText (static).
     FT,
-    /// BERT (transformer, later PR).
+    /// BERT (transformer, MLM pre-trained — the first dynamic model).
     BT,
     /// AlBERT (transformer, later PR).
     AT,
@@ -69,8 +77,11 @@ impl ModelCode {
         ModelCode::SM,
     ];
 
-    /// The static subset implemented by this crate so far.
+    /// The static subset implemented by this crate.
     pub const STATIC: [ModelCode; 3] = [ModelCode::WC, ModelCode::GE, ModelCode::FT];
+
+    /// The dynamic (transformer) subset implemented so far.
+    pub const DYNAMIC: [ModelCode; 1] = [ModelCode::BT];
 
     pub fn as_str(&self) -> &'static str {
         match self {

@@ -1,0 +1,611 @@
+//! From-scratch transformer encoder over the `er-tensor` autograd engine
+//! (paper model **BT**; DESIGN.md inventory row 6).
+//!
+//! Architecture (a miniature BERT, sized per DESIGN §1's 64-d budget):
+//! token embeddings + fixed sinusoidal positional encodings, then
+//! pre-LN encoder blocks — `x + MHA(LN(x))` followed by `x + FFN(LN(x))`
+//! with GELU — and a final layer-norm. Multi-head attention keeps one
+//! `dim × head_dim` projection triple per head (no reshape ops needed on
+//! 2-D tensors); scores are scaled by `1/√head_dim`. Sentence embeddings
+//! are **mean-pooled final-layer token states**, exactly the raw
+//! "feature-extraction" usage whose anisotropy the paper measures —
+//! no fine-tuning, no CLS head.
+//!
+//! Like the static models, everything is deterministic: weights come from
+//! one seed-derived RNG stream (in declaration order), the forward pass is
+//! sequential f32 arithmetic, and JSON persistence round-trips the weights
+//! bit-exactly in the fixed [`Transformer::param_tensors`] order.
+
+use crate::vocab::Vocab;
+use crate::{LanguageModel, ModelCode};
+use er_core::json::Json;
+use er_core::{Embedding, ErError, Result};
+use er_tensor::{Graph, Tensor, Var};
+use er_text::tokenize;
+use rand::RngCore;
+use std::time::Duration;
+
+/// Shape of the encoder. Every field is part of the zoo cache key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Model width (64 per DESIGN §1 — the paper's 768 scaled down).
+    pub dim: usize,
+    /// Number of encoder blocks.
+    pub layers: usize,
+    /// Attention heads; must divide `dim`.
+    pub heads: usize,
+    /// FFN inner width.
+    pub ffn: usize,
+    /// Maximum sequence length; longer token lists are truncated.
+    pub max_len: usize,
+}
+
+impl TransformerConfig {
+    pub fn head_dim(&self) -> usize {
+        assert!(
+            self.heads > 0 && self.dim.is_multiple_of(self.heads),
+            "heads ({}) must divide dim ({})",
+            self.heads,
+            self.dim
+        );
+        self.dim / self.heads
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("dim".into(), Json::from_usize(self.dim)),
+            ("layers".into(), Json::from_usize(self.layers)),
+            ("heads".into(), Json::from_usize(self.heads)),
+            ("ffn".into(), Json::from_usize(self.ffn)),
+            ("max_len".into(), Json::from_usize(self.max_len)),
+        ])
+    }
+
+    pub fn from_json(json: &Json) -> Result<TransformerConfig> {
+        Ok(TransformerConfig {
+            dim: json.expect("dim")?.as_usize()?,
+            layers: json.expect("layers")?.as_usize()?,
+            heads: json.expect("heads")?.as_usize()?,
+            ffn: json.expect("ffn")?.as_usize()?,
+            max_len: json.expect("max_len")?.as_usize()?,
+        })
+    }
+}
+
+/// One pre-LN encoder block's parameters.
+#[derive(Debug, Clone)]
+struct EncoderLayer {
+    ln1_gamma: Tensor,
+    ln1_beta: Tensor,
+    /// Per-head projections, each `dim × head_dim`.
+    wq: Vec<Tensor>,
+    wk: Vec<Tensor>,
+    wv: Vec<Tensor>,
+    wo: Tensor,
+    ln2_gamma: Tensor,
+    ln2_beta: Tensor,
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+}
+
+/// Initialization scale for weight matrices (BERT's 0.02).
+const INIT_SCALE: f32 = 0.02;
+
+impl EncoderLayer {
+    fn init(config: &TransformerConfig, rng: &mut impl RngCore) -> EncoderLayer {
+        let (d, h, hd, f) = (config.dim, config.heads, config.head_dim(), config.ffn);
+        EncoderLayer {
+            ln1_gamma: ones(1, d),
+            ln1_beta: Tensor::zeros(1, d),
+            wq: (0..h)
+                .map(|_| Tensor::randn(d, hd, INIT_SCALE, rng))
+                .collect(),
+            wk: (0..h)
+                .map(|_| Tensor::randn(d, hd, INIT_SCALE, rng))
+                .collect(),
+            wv: (0..h)
+                .map(|_| Tensor::randn(d, hd, INIT_SCALE, rng))
+                .collect(),
+            wo: Tensor::randn(d, d, INIT_SCALE, rng),
+            ln2_gamma: ones(1, d),
+            ln2_beta: Tensor::zeros(1, d),
+            w1: Tensor::randn(d, f, INIT_SCALE, rng),
+            b1: Tensor::zeros(1, f),
+            w2: Tensor::randn(f, d, INIT_SCALE, rng),
+            b2: Tensor::zeros(1, d),
+        }
+    }
+
+    fn zeroed(config: &TransformerConfig) -> EncoderLayer {
+        let (d, h, hd, f) = (config.dim, config.heads, config.head_dim(), config.ffn);
+        EncoderLayer {
+            ln1_gamma: Tensor::zeros(1, d),
+            ln1_beta: Tensor::zeros(1, d),
+            wq: (0..h).map(|_| Tensor::zeros(d, hd)).collect(),
+            wk: (0..h).map(|_| Tensor::zeros(d, hd)).collect(),
+            wv: (0..h).map(|_| Tensor::zeros(d, hd)).collect(),
+            wo: Tensor::zeros(d, d),
+            ln2_gamma: Tensor::zeros(1, d),
+            ln2_beta: Tensor::zeros(1, d),
+            w1: Tensor::zeros(d, f),
+            b1: Tensor::zeros(1, f),
+            w2: Tensor::zeros(f, d),
+            b2: Tensor::zeros(1, d),
+        }
+    }
+}
+
+fn ones(rows: usize, cols: usize) -> Tensor {
+    Tensor::from_rows(rows, cols, &vec![1.0; rows * cols])
+}
+
+/// The encoder plus its vocabulary; the first *dynamic* model in the zoo.
+#[derive(Debug, Clone)]
+pub struct Transformer {
+    code: ModelCode,
+    vocab: Vocab,
+    config: TransformerConfig,
+    /// Token embedding table, `vocab.len() × dim`. Also the (weight-tied)
+    /// MLM output head.
+    token_embed: Tensor,
+    layers: Vec<EncoderLayer>,
+    final_gamma: Tensor,
+    final_beta: Tensor,
+    init_ns: u64,
+}
+
+/// `Var` handles for every parameter of a [`Transformer`] bound into one
+/// [`Graph`], in [`Transformer::param_tensors`] order.
+pub(crate) struct BoundTransformer {
+    pub token_embed: Var,
+    ordered: Vec<Var>,
+    layers: Vec<BoundLayer>,
+    final_gamma: Var,
+    final_beta: Var,
+}
+
+struct BoundLayer {
+    ln1_gamma: Var,
+    ln1_beta: Var,
+    wq: Vec<Var>,
+    wk: Vec<Var>,
+    wv: Vec<Var>,
+    wo: Var,
+    ln2_gamma: Var,
+    ln2_beta: Var,
+    w1: Var,
+    b1: Var,
+    w2: Var,
+    b2: Var,
+}
+
+impl BoundTransformer {
+    /// Every parameter `Var`, in the same order as
+    /// [`Transformer::param_tensors`] — grads read from these line up with
+    /// the optimizer's parameter slice.
+    pub fn ordered_vars(&self) -> &[Var] {
+        &self.ordered
+    }
+}
+
+impl Transformer {
+    /// Fresh random weights from `rng` (one stream, declaration order):
+    /// matrices at scale `INIT_SCALE` (0.02), layer-norm gains at 1, biases 0.
+    pub fn init(
+        code: ModelCode,
+        vocab: Vocab,
+        config: TransformerConfig,
+        rng: &mut impl RngCore,
+    ) -> Transformer {
+        let d = config.dim;
+        let token_embed = Tensor::randn(vocab.len(), d, INIT_SCALE, rng);
+        let layers = (0..config.layers)
+            .map(|_| EncoderLayer::init(&config, rng))
+            .collect();
+        Transformer {
+            code,
+            vocab,
+            token_embed,
+            final_gamma: ones(1, d),
+            final_beta: Tensor::zeros(1, d),
+            layers,
+            config,
+            init_ns: 0,
+        }
+    }
+
+    /// All-zero weights in the right shapes — the loading skeleton
+    /// [`Transformer::from_json`] fills in.
+    fn zeroed(code: ModelCode, vocab: Vocab, config: TransformerConfig) -> Transformer {
+        let d = config.dim;
+        Transformer {
+            code,
+            token_embed: Tensor::zeros(vocab.len(), d),
+            layers: (0..config.layers)
+                .map(|_| EncoderLayer::zeroed(&config))
+                .collect(),
+            final_gamma: Tensor::zeros(1, d),
+            final_beta: Tensor::zeros(1, d),
+            vocab,
+            config,
+            init_ns: 0,
+        }
+    }
+
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    pub(crate) fn set_init_ns(&mut self, ns: u64) {
+        self.init_ns = ns;
+    }
+
+    pub(crate) fn init_ns(&self) -> u64 {
+        self.init_ns
+    }
+
+    /// Every parameter tensor in one fixed order — the contract shared by
+    /// the optimizer, JSON persistence and `BoundTransformer::ordered_vars`.
+    pub fn param_tensors(&self) -> Vec<&Tensor> {
+        let mut out = vec![&self.token_embed];
+        for l in &self.layers {
+            out.push(&l.ln1_gamma);
+            out.push(&l.ln1_beta);
+            out.extend(l.wq.iter());
+            out.extend(l.wk.iter());
+            out.extend(l.wv.iter());
+            out.push(&l.wo);
+            out.push(&l.ln2_gamma);
+            out.push(&l.ln2_beta);
+            out.push(&l.w1);
+            out.push(&l.b1);
+            out.push(&l.w2);
+            out.push(&l.b2);
+        }
+        out.push(&self.final_gamma);
+        out.push(&self.final_beta);
+        out
+    }
+
+    /// Mutable view in [`Transformer::param_tensors`] order.
+    pub fn param_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out: Vec<&mut Tensor> = vec![&mut self.token_embed];
+        for l in &mut self.layers {
+            out.push(&mut l.ln1_gamma);
+            out.push(&mut l.ln1_beta);
+            out.extend(l.wq.iter_mut());
+            out.extend(l.wk.iter_mut());
+            out.extend(l.wv.iter_mut());
+            out.push(&mut l.wo);
+            out.push(&mut l.ln2_gamma);
+            out.push(&mut l.ln2_beta);
+            out.push(&mut l.w1);
+            out.push(&mut l.b1);
+            out.push(&mut l.w2);
+            out.push(&mut l.b2);
+        }
+        out.push(&mut self.final_gamma);
+        out.push(&mut self.final_beta);
+        out
+    }
+
+    /// Copy every parameter into `g` as leaves and hand back the `Var`s.
+    pub(crate) fn bind(&self, g: &mut Graph) -> BoundTransformer {
+        let token_embed = g.param(&self.token_embed);
+        let mut ordered = vec![token_embed];
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            let bound = BoundLayer {
+                ln1_gamma: g.param(&l.ln1_gamma),
+                ln1_beta: g.param(&l.ln1_beta),
+                wq: l.wq.iter().map(|t| g.param(t)).collect(),
+                wk: l.wk.iter().map(|t| g.param(t)).collect(),
+                wv: l.wv.iter().map(|t| g.param(t)).collect(),
+                wo: g.param(&l.wo),
+                ln2_gamma: g.param(&l.ln2_gamma),
+                ln2_beta: g.param(&l.ln2_beta),
+                w1: g.param(&l.w1),
+                b1: g.param(&l.b1),
+                w2: g.param(&l.w2),
+                b2: g.param(&l.b2),
+            };
+            ordered.push(bound.ln1_gamma);
+            ordered.push(bound.ln1_beta);
+            ordered.extend(bound.wq.iter().copied());
+            ordered.extend(bound.wk.iter().copied());
+            ordered.extend(bound.wv.iter().copied());
+            ordered.push(bound.wo);
+            ordered.push(bound.ln2_gamma);
+            ordered.push(bound.ln2_beta);
+            ordered.push(bound.w1);
+            ordered.push(bound.b1);
+            ordered.push(bound.w2);
+            ordered.push(bound.b2);
+            layers.push(bound);
+        }
+        let final_gamma = g.param(&self.final_gamma);
+        let final_beta = g.param(&self.final_beta);
+        ordered.push(final_gamma);
+        ordered.push(final_beta);
+        BoundTransformer {
+            token_embed,
+            ordered,
+            layers,
+            final_gamma,
+            final_beta,
+        }
+    }
+
+    /// Run the encoder over a (non-empty, pre-truncated) id sequence inside
+    /// `g`, returning the `len × dim` final-layer-norm hidden states.
+    pub(crate) fn encode(&self, g: &mut Graph, bound: &BoundTransformer, ids: &[u32]) -> Var {
+        assert!(!ids.is_empty(), "encode of an empty sequence");
+        assert!(ids.len() <= self.config.max_len, "sequence not truncated");
+        let idx: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
+        let embedded = g.gather(bound.token_embed, &idx);
+        let pe = g.constant(positional_encoding(idx.len(), self.config.dim));
+        let mut x = g.add(embedded, pe);
+        let scale = 1.0 / (self.config.head_dim() as f32).sqrt();
+        for l in &bound.layers {
+            // x ← x + MHA(LN(x))
+            let h = g.layer_norm(x, l.ln1_gamma, l.ln1_beta);
+            let mut heads = Vec::with_capacity(l.wq.len());
+            for ((wq, wk), wv) in l.wq.iter().zip(&l.wk).zip(&l.wv) {
+                let q = g.matmul(h, *wq);
+                let k = g.matmul(h, *wk);
+                let v = g.matmul(h, *wv);
+                let scores = g.matmul_nt(q, k);
+                let scaled = g.scale(scores, scale);
+                let att = g.softmax(scaled);
+                heads.push(g.matmul(att, v));
+            }
+            let cat = g.concat_cols(&heads);
+            let proj = g.matmul(cat, l.wo);
+            x = g.add(x, proj);
+            // x ← x + FFN(LN(x))
+            let h2 = g.layer_norm(x, l.ln2_gamma, l.ln2_beta);
+            let pre = g.matmul(h2, l.w1);
+            let pre_b = g.add_row(pre, l.b1);
+            let act = g.gelu(pre_b);
+            let ff = g.matmul(act, l.w2);
+            let ff_b = g.add_row(ff, l.b2);
+            x = g.add(x, ff_b);
+        }
+        g.layer_norm(x, bound.final_gamma, bound.final_beta)
+    }
+
+    /// Vocabulary-encode `text` (OOV dropped, like the static models) and
+    /// truncate to `max_len` — the inference-side tokenization.
+    fn encode_ids(&self, text: &str) -> Vec<u32> {
+        let tokens = tokenize(text);
+        let mut ids = self.vocab.encode(&tokens);
+        ids.truncate(self.config.max_len);
+        ids
+    }
+
+    /// Mean-pooled final hidden states for an id sequence. Empty → zeros
+    /// (the all-OOV contract every zoo model shares).
+    fn pool_ids(&self, ids: &[u32]) -> Embedding {
+        if ids.is_empty() {
+            return Embedding::zeros(self.config.dim);
+        }
+        let mut g = Graph::new();
+        let bound = self.bind(&mut g);
+        let hidden = self.encode(&mut g, &bound, ids);
+        let pooled = g.mean_pool(hidden);
+        Embedding(g.value(pooled).data().to_vec())
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("code".into(), Json::from_str_value(self.code.as_str())),
+            ("config".into(), self.config.to_json()),
+            ("vocab".into(), self.vocab.to_json()),
+            (
+                "params".into(),
+                Json::Arr(
+                    self.param_tensors()
+                        .iter()
+                        .map(|t| Json::from_f32_slice(t.data()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(json: &Json, init_ns: u64) -> Result<Transformer> {
+        let code = ModelCode::parse(json.expect("code")?.as_str()?)?;
+        let config = TransformerConfig::from_json(json.expect("config")?)?;
+        let vocab = Vocab::from_json(json.expect("vocab")?)?;
+        let mut model = Transformer::zeroed(code, vocab, config);
+        model.init_ns = init_ns;
+        let arrays = json.expect("params")?.as_arr()?;
+        let mut params = model.param_tensors_mut();
+        if arrays.len() != params.len() {
+            return Err(ErError::Parse(format!(
+                "Transformer: expected {} parameter tensors, got {}",
+                params.len(),
+                arrays.len()
+            )));
+        }
+        for (i, (param, array)) in params.iter_mut().zip(arrays).enumerate() {
+            let values = array.as_f32_vec()?;
+            crate::check_matrix_shape(
+                &format!("Transformer param {i}"),
+                &values,
+                param.rows(),
+                param.cols(),
+            )?;
+            param.data_mut().copy_from_slice(&values);
+        }
+        Ok(model)
+    }
+}
+
+impl LanguageModel for Transformer {
+    fn code(&self) -> ModelCode {
+        self.code
+    }
+
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn init_time(&self) -> Duration {
+        Duration::from_nanos(self.init_ns)
+    }
+
+    fn embed(&self, text: &str) -> Embedding {
+        self.pool_ids(&self.encode_ids(text))
+    }
+
+    fn embed_into(&self, text: &str, out: &mut [f32]) {
+        let ids = self.encode_ids(text);
+        if ids.is_empty() {
+            out.fill(0.0);
+            return;
+        }
+        let mut g = Graph::new();
+        let bound = self.bind(&mut g);
+        let hidden = self.encode(&mut g, &bound, &ids);
+        let pooled = g.mean_pool(hidden);
+        out.copy_from_slice(g.value(pooled).data());
+    }
+}
+
+/// Fixed sinusoidal positional encodings (Vaswani et al. 2017):
+/// `pe[p, 2i] = sin(p / 10000^(2i/dim))`, `pe[p, 2i+1] = cos(·)`.
+pub fn positional_encoding(len: usize, dim: usize) -> Tensor {
+    let mut pe = Tensor::zeros(len, dim);
+    for p in 0..len {
+        for i in 0..dim {
+            let exponent = 2.0 * (i / 2) as f32 / dim as f32;
+            let angle = p as f32 / 10_000f32.powf(exponent);
+            pe.set(p, i, if i % 2 == 0 { angle.sin() } else { angle.cos() });
+        }
+    }
+    pe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::rng::rng;
+    use er_text::Corpus;
+
+    fn toy() -> Transformer {
+        let mut c = Corpus::new();
+        c.push_text("golden palace grill downtown");
+        c.push_text("royal garden cafe uptown");
+        let vocab = Vocab::build(&c, 1).with_special(er_text::MASK_TOKEN);
+        let config = TransformerConfig {
+            dim: 8,
+            layers: 2,
+            heads: 2,
+            ffn: 16,
+            max_len: 6,
+        };
+        Transformer::init(ModelCode::BT, vocab, config, &mut rng(5))
+    }
+
+    #[test]
+    fn embeds_deterministically_at_declared_dim() {
+        let t = toy();
+        let a = t.embed("golden palace grill");
+        let b = t.embed("golden palace grill");
+        assert_eq!(a, b);
+        assert_eq!(a.dim(), 8);
+        assert!(a.is_finite());
+        assert!(a.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn empty_and_oov_text_embed_to_zeros() {
+        let t = toy();
+        assert_eq!(t.embed(""), Embedding::zeros(8));
+        assert_eq!(t.embed("zzz qqq www"), Embedding::zeros(8));
+    }
+
+    #[test]
+    fn embed_into_matches_embed() {
+        let t = toy();
+        let via_embed = t.embed("royal garden cafe");
+        let mut row = vec![7.0f32; 8];
+        t.embed_into("royal garden cafe", &mut row);
+        assert_eq!(row, via_embed.as_slice());
+        t.embed_into("", &mut row);
+        assert!(row.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn long_inputs_truncate_to_max_len() {
+        let t = toy();
+        // 8 known tokens, max_len 6: must not panic, must differ from the
+        // first 5 tokens alone (6th token still contributes).
+        let long = "golden palace grill downtown royal garden cafe uptown";
+        let e = t.embed(long);
+        assert!(e.is_finite());
+        let first_six = "golden palace grill downtown royal garden";
+        assert_eq!(e, t.embed(first_six));
+    }
+
+    #[test]
+    fn order_matters_unlike_static_mean_pooling() {
+        // Positional encodings + attention make the encoder
+        // order-sensitive; static mean-pooled models are not.
+        let t = toy();
+        let ab = t.embed("golden palace");
+        let ba = t.embed("palace golden");
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let t = toy();
+        let back = Transformer::from_json(&t.to_json(), t.init_ns()).unwrap();
+        assert_eq!(t.to_json().to_string(), back.to_json().to_string());
+        let a = t.embed("golden garden");
+        let b = back.embed("golden garden");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn param_order_is_stable_between_accessors_and_bind() {
+        let mut t = toy();
+        let shapes: Vec<(usize, usize)> = t
+            .param_tensors()
+            .iter()
+            .map(|p| (p.rows(), p.cols()))
+            .collect();
+        let mut_shapes: Vec<(usize, usize)> = t
+            .param_tensors_mut()
+            .iter()
+            .map(|p| (p.rows(), p.cols()))
+            .collect();
+        assert_eq!(shapes, mut_shapes);
+        let mut g = Graph::new();
+        let bound = t.bind(&mut g);
+        let bound_shapes: Vec<(usize, usize)> = bound
+            .ordered_vars()
+            .iter()
+            .map(|&v| (g.value(v).rows(), g.value(v).cols()))
+            .collect();
+        assert_eq!(shapes, bound_shapes);
+        // token_embed + layers·(2+2 LN + 3·heads proj + wo + w1/b1/w2/b2) + final LN pair.
+        assert_eq!(shapes.len(), 1 + 2 * (9 + 3 * 2) + 2);
+    }
+
+    #[test]
+    fn positional_encoding_first_row_is_sin0_cos0() {
+        let pe = positional_encoding(3, 4);
+        assert_eq!(pe.row(0), &[0.0, 1.0, 0.0, 1.0]);
+        // Row 1 differs from row 0 — positions are distinguishable.
+        assert_ne!(pe.row(1), pe.row(0));
+    }
+}

@@ -43,6 +43,21 @@ impl Vocab {
         }
     }
 
+    /// Append a reserved special token (e.g. `er_text::MASK_TOKEN`) with
+    /// count 0, after all frequency-ranked entries so every real token
+    /// keeps its id. No-op if the token is already present. Special tokens
+    /// survive the JSON round-trip like any other entry.
+    pub fn with_special(mut self, token: &str) -> Vocab {
+        if self.index.contains_key(token) {
+            return self;
+        }
+        self.index
+            .insert(token.to_string(), self.tokens.len() as u32);
+        self.tokens.push(token.to_string());
+        self.counts.push(0);
+        self
+    }
+
     pub fn id(&self, token: &str) -> Option<u32> {
         self.index.get(token).copied()
     }
@@ -173,6 +188,24 @@ mod tests {
     fn json_round_trip() {
         let c = corpus_of(&["x y z x"]);
         let v = Vocab::build(&c, 1);
+        let back = Vocab::from_json(&v.to_json()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn special_token_appends_after_ranked_entries() {
+        let c = corpus_of(&["a a b"]);
+        let v = Vocab::build(&c, 1);
+        let (a_id, b_id) = (v.id("a").unwrap(), v.id("b").unwrap());
+        let v = v.with_special(er_text::MASK_TOKEN);
+        assert_eq!(v.id("a"), Some(a_id), "real token ids must not shift");
+        assert_eq!(v.id("b"), Some(b_id));
+        let mask_id = v.id(er_text::MASK_TOKEN).unwrap();
+        assert_eq!(mask_id as usize, v.len() - 1);
+        assert_eq!(v.count(mask_id), 0);
+        // Idempotent, and survives persistence.
+        let again = v.clone().with_special(er_text::MASK_TOKEN);
+        assert_eq!(v, again);
         let back = Vocab::from_json(&v.to_json()).unwrap();
         assert_eq!(v, back);
     }

@@ -9,6 +9,8 @@
 
 use crate::fasttext::{FastText, FastTextParams};
 use crate::glove::{Glove, GloveParams};
+use crate::mlm::{self, MlmParams};
+use crate::transformer::{Transformer, TransformerConfig};
 use crate::word2vec::{SgnsParams, Word2Vec};
 use crate::{LanguageModel, ModelCode, Vocab};
 use er_core::json::Json;
@@ -43,6 +45,17 @@ pub struct ZooConfig {
     pub nmin: usize,
     pub nmax: usize,
     pub buckets: usize,
+    /// Transformer (BT) width — 64-d per DESIGN §1 (the paper's 768 scaled
+    /// to the static models' 48).
+    pub bt_dim: usize,
+    pub bt_layers: usize,
+    pub bt_heads: usize,
+    pub bt_ffn: usize,
+    pub bt_max_len: usize,
+    pub bt_epochs: usize,
+    pub bt_lr: f32,
+    /// MLM per-position masking probability (BERT's 0.15).
+    pub bt_mask_prob: f32,
 }
 
 impl ZooConfig {
@@ -66,6 +79,14 @@ impl ZooConfig {
             nmin: 3,
             nmax: 5,
             buckets: 4096,
+            bt_dim: 64,
+            bt_layers: 2,
+            bt_heads: 4,
+            bt_ffn: 128,
+            bt_max_len: 16,
+            bt_epochs: 2,
+            bt_lr: 1e-3,
+            bt_mask_prob: 0.15,
         }
     }
 
@@ -89,6 +110,14 @@ impl ZooConfig {
             nmin: 3,
             nmax: 5,
             buckets: 1024,
+            bt_dim: 64,
+            bt_layers: 1,
+            bt_heads: 2,
+            bt_ffn: 64,
+            bt_max_len: 10,
+            bt_epochs: 1,
+            bt_lr: 1e-3,
+            bt_mask_prob: 0.15,
         }
     }
 
@@ -110,6 +139,14 @@ impl ZooConfig {
             ("nmin".into(), Json::from_usize(self.nmin)),
             ("nmax".into(), Json::from_usize(self.nmax)),
             ("buckets".into(), Json::from_usize(self.buckets)),
+            ("bt_dim".into(), Json::from_usize(self.bt_dim)),
+            ("bt_layers".into(), Json::from_usize(self.bt_layers)),
+            ("bt_heads".into(), Json::from_usize(self.bt_heads)),
+            ("bt_ffn".into(), Json::from_usize(self.bt_ffn)),
+            ("bt_max_len".into(), Json::from_usize(self.bt_max_len)),
+            ("bt_epochs".into(), Json::from_usize(self.bt_epochs)),
+            ("bt_lr".into(), Json::from_f32(self.bt_lr)),
+            ("bt_mask_prob".into(), Json::from_f32(self.bt_mask_prob)),
         ])
     }
 
@@ -134,6 +171,7 @@ pub enum AnyModel {
     Word2Vec(Word2Vec),
     Glove(Glove),
     FastText(FastText),
+    Transformer(Transformer),
 }
 
 impl AnyModel {
@@ -144,6 +182,7 @@ impl AnyModel {
             AnyModel::Word2Vec(m) => m.vocab().id(token).is_some(),
             AnyModel::Glove(m) => m.vocab().id(token).is_some(),
             AnyModel::FastText(m) => m.vocab().id(token).is_some(),
+            AnyModel::Transformer(m) => m.vocab().id(token).is_some(),
         }
     }
 
@@ -152,6 +191,7 @@ impl AnyModel {
             AnyModel::Word2Vec(_) => "Word2Vec",
             AnyModel::Glove(_) => "Glove",
             AnyModel::FastText(_) => "FastText",
+            AnyModel::Transformer(_) => "Transformer",
         }
     }
 
@@ -160,6 +200,7 @@ impl AnyModel {
             AnyModel::Word2Vec(m) => m.to_json(),
             AnyModel::Glove(m) => m.to_json(),
             AnyModel::FastText(m) => m.to_json(),
+            AnyModel::Transformer(m) => m.to_json(),
         }
     }
 
@@ -168,6 +209,7 @@ impl AnyModel {
             AnyModel::Word2Vec(m) => m.init_ns(),
             AnyModel::Glove(m) => m.init_ns(),
             AnyModel::FastText(m) => m.init_ns(),
+            AnyModel::Transformer(m) => m.init_ns(),
         }
     }
 
@@ -188,6 +230,9 @@ impl AnyModel {
             "Word2Vec" => Ok(AnyModel::Word2Vec(Word2Vec::from_json(weights, init_ns)?)),
             "Glove" => Ok(AnyModel::Glove(Glove::from_json(weights, init_ns)?)),
             "FastText" => Ok(AnyModel::FastText(FastText::from_json(weights, init_ns)?)),
+            "Transformer" => Ok(AnyModel::Transformer(Transformer::from_json(
+                weights, init_ns,
+            )?)),
             other => Err(ErError::Parse(format!("unknown model kind {other:?}"))),
         }
     }
@@ -199,6 +244,7 @@ impl LanguageModel for AnyModel {
             AnyModel::Word2Vec(m) => m.code(),
             AnyModel::Glove(m) => m.code(),
             AnyModel::FastText(m) => m.code(),
+            AnyModel::Transformer(m) => m.code(),
         }
     }
 
@@ -207,6 +253,7 @@ impl LanguageModel for AnyModel {
             AnyModel::Word2Vec(m) => m.dim(),
             AnyModel::Glove(m) => m.dim(),
             AnyModel::FastText(m) => m.dim(),
+            AnyModel::Transformer(m) => m.dim(),
         }
     }
 
@@ -215,6 +262,7 @@ impl LanguageModel for AnyModel {
             AnyModel::Word2Vec(m) => m.init_time(),
             AnyModel::Glove(m) => m.init_time(),
             AnyModel::FastText(m) => m.init_time(),
+            AnyModel::Transformer(m) => m.init_time(),
         }
     }
 
@@ -223,11 +271,22 @@ impl LanguageModel for AnyModel {
             AnyModel::Word2Vec(m) => m.embed(text),
             AnyModel::Glove(m) => m.embed(text),
             AnyModel::FastText(m) => m.embed(text),
+            AnyModel::Transformer(m) => m.embed(text),
+        }
+    }
+
+    fn embed_into(&self, text: &str, out: &mut [f32]) {
+        match self {
+            AnyModel::Word2Vec(m) => m.embed_into(text, out),
+            AnyModel::Glove(m) => m.embed_into(text, out),
+            AnyModel::FastText(m) => m.embed_into(text, out),
+            AnyModel::Transformer(m) => m.embed_into(text, out),
         }
     }
 }
 
-/// The pre-trained roster, ordered as [`ModelCode::STATIC`].
+/// The pre-trained roster, ordered as [`ModelCode::STATIC`] then
+/// [`ModelCode::DYNAMIC`].
 #[derive(Debug, Clone)]
 pub struct ModelZoo {
     models: Vec<Arc<AnyModel>>,
@@ -300,7 +359,7 @@ impl ModelZoo {
         );
         let ft = FastText::train(
             &corpus,
-            vocab,
+            vocab.clone(),
             &FastTextParams {
                 sgns: SgnsParams {
                     dim: config.dim,
@@ -315,12 +374,34 @@ impl ModelZoo {
             },
             seed,
         );
+        // The dynamic model shares the static vocabulary plus the reserved
+        // mask token, which must never collide with a real corpus token
+        // (guaranteed by the tokenizer — see `er_text::MASK_TOKEN`).
+        let bt = mlm::pretrain_bt(
+            &corpus,
+            vocab.with_special(er_text::MASK_TOKEN),
+            &MlmParams {
+                config: TransformerConfig {
+                    dim: config.bt_dim,
+                    layers: config.bt_layers,
+                    heads: config.bt_heads,
+                    ffn: config.bt_ffn,
+                    max_len: config.bt_max_len,
+                },
+                epochs: config.bt_epochs,
+                mask_prob: config.bt_mask_prob as f64,
+                lr: config.bt_lr,
+                clip: 1.0,
+            },
+            seed,
+        );
 
         ModelZoo {
             models: vec![
                 Arc::new(AnyModel::Word2Vec(w2v)),
                 Arc::new(AnyModel::Glove(glove)),
                 Arc::new(AnyModel::FastText(ft)),
+                Arc::new(AnyModel::Transformer(bt)),
             ],
             scale: config.scale.clone(),
             seed,
@@ -332,7 +413,7 @@ impl ModelZoo {
     }
 
     /// Fetch a model, panicking with a roster listing if it is not (yet)
-    /// implemented — the dynamic models arrive in later PRs.
+    /// implemented — the remaining dynamic models arrive in later PRs.
     pub fn get(&self, code: ModelCode) -> &Arc<AnyModel> {
         self.try_get(code).unwrap_or_else(|| {
             panic!(
@@ -422,19 +503,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tiny_zoo_trains_all_static_models() {
+    fn tiny_zoo_trains_statics_plus_bt() {
         let zoo = ModelZoo::train_all(&ZooConfig::tiny(), 42);
         assert_eq!(
             zoo.codes(),
-            vec![ModelCode::WC, ModelCode::GE, ModelCode::FT]
+            vec![ModelCode::WC, ModelCode::GE, ModelCode::FT, ModelCode::BT]
         );
         for m in zoo.models() {
-            assert_eq!(m.dim(), 48);
+            // Statics are 48-d; the transformer is 64-d (DESIGN §1).
+            let expected = if m.code() == ModelCode::BT { 64 } else { 48 };
+            assert_eq!(m.dim(), expected);
             let e = m.embed("restaurant downtown");
-            assert_eq!(e.dim(), 48);
+            assert_eq!(e.dim(), expected);
             assert!(e.is_finite());
         }
-        assert!(zoo.try_get(ModelCode::BT).is_none());
+        assert!(zoo.try_get(ModelCode::BT).is_some());
+        assert!(zoo.try_get(ModelCode::AT).is_none());
+    }
+
+    #[test]
+    fn bt_knows_corpus_tokens_but_embeds_oov_to_nothing() {
+        let zoo = ModelZoo::train_all(&ZooConfig::tiny(), 42);
+        let bt = zoo.get(ModelCode::BT);
+        // The mask token rides along in the vocabulary…
+        assert!(bt.knows_token(er_text::MASK_TOKEN));
+        // …but an unseen token embeds to zeros (no subword fallback).
+        assert_eq!(
+            bt.embed("zzzzqqqq"),
+            Embedding::zeros(bt.dim()),
+            "BT must drop OOV tokens, unlike FastText"
+        );
     }
 
     #[test]
@@ -451,5 +549,17 @@ mod tests {
     fn get_panics_helpfully_for_future_models() {
         let zoo = ModelZoo::train_all(&ZooConfig::tiny(), 1);
         let _ = zoo.get(ModelCode::S5);
+    }
+
+    #[test]
+    fn embed_into_matches_embed_for_every_model() {
+        let zoo = ModelZoo::train_all(&ZooConfig::tiny(), 7);
+        for m in zoo.models() {
+            let text = "golden palace grill main street";
+            let e = m.embed(text);
+            let mut row = vec![f32::NAN; m.dim()];
+            m.embed_into(text, &mut row);
+            assert_eq!(row, e.as_slice(), "{} embed_into diverged", m.code());
+        }
     }
 }

@@ -32,8 +32,15 @@ pub struct ThresholdSweep {
 
 impl ThresholdSweep {
     /// The paper's δ grid: 0.05 to 0.95 in steps of 0.05 (Fig. 15).
+    ///
+    /// Contract: each δ is `(i as f64 * 0.05) as f32` — the nearest f32 to
+    /// the *exact* multiple of 0.05, rounded independently per point. The
+    /// earlier `i as f32 * 0.05` accumulated per-step f32 error (e.g.
+    /// δ₇ = 0.35000002), so a candidate scored exactly at a nominal grid
+    /// value could flip sides of the `score >= delta` cut. The 19 values
+    /// are pinned bit-exactly in `paper_deltas_are_bit_exact`.
     pub fn paper_deltas() -> Vec<f32> {
-        (1..=19).map(|i| i as f32 * 0.05).collect()
+        (1..=19).map(|i| (i as f64 * 0.05) as f32).collect()
     }
 
     /// Sweep Unique Mapping Clustering — the paper's default matcher —
@@ -120,6 +127,29 @@ mod tests {
         // F1 is perfect on [0.35, 0.79]: decoys gone, matches kept. The
         // tie-break picks the lowest such δ on the grid.
         assert!((best.delta - 0.35).abs() < 1e-6, "{}", best.delta);
+    }
+
+    #[test]
+    fn paper_deltas_are_bit_exact() {
+        // Each grid point must be the f32 nearest the exact multiple of
+        // 0.05 — i.e. bit-identical to the literal — not a value with
+        // accumulated f32 stepping error. In particular a pair scored
+        // exactly 0.35f32 must satisfy `score >= delta` at δ₇.
+        let expected: [f32; 19] = [
+            0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8,
+            0.85, 0.9, 0.95,
+        ];
+        let got = ThresholdSweep::paper_deltas();
+        assert_eq!(got.len(), 19);
+        for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                e.to_bits(),
+                "δ{} = {g:?} is not bit-identical to the literal {e:?}",
+                i + 1
+            );
+        }
+        assert!(0.35f32 >= got[6], "nominal grid score flips the δ₇ cut");
     }
 
     #[test]

@@ -1,12 +1,37 @@
 //! er-tensor — tensor + reverse-mode autograd engine (DESIGN.md inventory
 //! row 1: "Substrate for all neural models").
 //!
-//! This PR ships the dense 2-D [`Tensor`] storage and the matmul kernels
-//! the transformer encoder will build on; the autograd `Graph`, activation
-//! kernels and optimizers land with the transformer PR.
+//! Three layers:
+//!
+//! - [`tensor`]: dense row-major 2-D [`Tensor`] storage plus the matmul
+//!   kernels ([`tensor::matmul`], [`tensor::matmul_nt`]).
+//! - [`autograd`]: a tape-based reverse-mode [`Graph`] over those tensors
+//!   with the transformer op set (matmul, add/mul, softmax, layer-norm,
+//!   GELU, gather, mean-pool, cross-entropy, …).
+//! - [`optim`]: [`Sgd`] and [`Adam`] over externally-owned parameters,
+//!   plus global-norm gradient clipping.
+//!
+//! # Grad-check methodology
+//!
+//! Every backward formula is validated in `tests/grad_check.rs` against
+//! central finite differences: for each input element `xᵢ` of each op we
+//! compare the analytic `∂loss/∂xᵢ` from [`Graph::backward`] with
+//! `(f(x + h·eᵢ) − f(x − h·eᵢ)) / 2h`, where `f` reduces the op's output
+//! to a scalar through [`Graph::sum`] (or is the scalar loss itself for
+//! cross-entropy). We use `h = 1e-2` — large enough that the `O(h²)`
+//! truncation error stays above f32 round-off of the forward pass — and
+//! accept when `|analytic − numeric| ≤ 1e-2 · max(1, |numeric|)` per
+//! element. Inputs are seeded via `er_core::rng`, so a failure is
+//! reproducible byte-for-byte. The same checks run in release mode in CI
+//! (the `autograd-bt` job), which would catch any `fast-math`-style
+//! miscompilation the debug run can't see.
 
+pub mod autograd;
+pub mod optim;
 pub mod tensor;
 
+pub use autograd::{Graph, Var, LAYER_NORM_EPS};
+pub use optim::{clip_grad_norm, Adam, Sgd};
 pub use tensor::Tensor;
 
 #[cfg(test)]
@@ -26,11 +51,20 @@ mod tests {
     #[test]
     fn matmul_nt_is_a_times_b_transposed() {
         let mut r = rng(3);
-        let a = Tensor::randn(3, 4, &mut r);
-        let b = Tensor::randn(5, 4, &mut r);
+        let a = Tensor::randn(3, 4, 1.0, &mut r);
+        let b = Tensor::randn(5, 4, 1.0, &mut r);
         let direct = matmul_nt(&a, &b);
         let via_transpose = matmul(&a, &b.transposed());
         assert_eq!(direct.data(), via_transpose.data());
         assert_eq!((direct.rows(), direct.cols()), (3, 5));
+    }
+
+    #[test]
+    fn randn_scale_is_linear() {
+        let a = Tensor::randn(2, 3, 1.0, &mut rng(7));
+        let b = Tensor::randn(2, 3, 0.5, &mut rng(7));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x * 0.5, *y);
+        }
     }
 }

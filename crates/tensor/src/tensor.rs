@@ -29,13 +29,14 @@ impl Tensor {
         }
     }
 
-    /// Approximately standard-normal init (mean of 12 uniforms, shifted),
-    /// deterministic for a fixed RNG stream.
-    pub fn randn(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    /// Approximately standard-normal init (mean of 12 uniforms, shifted)
+    /// multiplied by `scale`, deterministic for a fixed RNG stream. Pass
+    /// `scale = 1.0` for unit variance; transformer weights use ~`0.02`.
+    pub fn randn(rows: usize, cols: usize, scale: f32, rng: &mut impl Rng) -> Tensor {
         let data = (0..rows * cols)
             .map(|_| {
                 let s: f32 = (0..12).map(|_| rng.gen_range(0.0f32..1.0)).sum();
-                s - 6.0
+                (s - 6.0) * scale
             })
             .collect();
         Tensor { rows, cols, data }

@@ -1,0 +1,298 @@
+//! Finite-difference validation of every autograd backward formula.
+//!
+//! For each op we build a tiny graph reducing the op's output to a scalar
+//! (via `Graph::sum`, or the op itself for cross-entropy), read the
+//! analytic gradient from `Graph::backward`, and compare element-wise
+//! against central differences `(f(x+h) − f(x−h)) / 2h` with `h = 1e-2`.
+//! See the er-tensor crate docs for why that step size and tolerance.
+
+use er_core::rng::rng;
+use er_tensor::{Graph, Tensor};
+
+const H: f32 = 1e-2;
+
+/// `|analytic − numeric| ≤ 1e-2 · max(1, |numeric|)`, element-wise.
+fn assert_close(analytic: &Tensor, numeric: &Tensor, op: &str) {
+    assert_eq!(
+        (analytic.rows(), analytic.cols()),
+        (numeric.rows(), numeric.cols()),
+        "{op}: gradient shape mismatch"
+    );
+    for (i, (&a, &n)) in analytic.data().iter().zip(numeric.data()).enumerate() {
+        let tol = 1e-2 * n.abs().max(1.0);
+        assert!(
+            (a - n).abs() <= tol,
+            "{op}: grad[{i}] analytic {a} vs numeric {n} (tol {tol})"
+        );
+    }
+}
+
+/// Central-difference gradient of `f` w.r.t. every element of `x`.
+fn numeric_grad(x: &Tensor, f: impl Fn(&Tensor) -> f32) -> Tensor {
+    let mut out = Tensor::zeros(x.rows(), x.cols());
+    for i in 0..x.data().len() {
+        let mut plus = x.clone();
+        plus.data_mut()[i] += H;
+        let mut minus = x.clone();
+        minus.data_mut()[i] -= H;
+        out.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * H);
+    }
+    out
+}
+
+/// Run one check: `scalar_loss(graph, probe_var)` builds the graph around
+/// the probed input and returns the loss `Var`. Returns nothing; panics
+/// with the op name on mismatch.
+fn check(op: &str, probe: &Tensor, build: impl Fn(&mut Graph, er_tensor::Var) -> er_tensor::Var) {
+    let mut g = Graph::new();
+    let x = g.param(probe);
+    let loss = build(&mut g, x);
+    g.backward(loss);
+    let analytic = g.grad(x).clone();
+    let numeric = numeric_grad(probe, |t| {
+        let mut g = Graph::new();
+        let x = g.param(t);
+        let loss = build(&mut g, x);
+        g.value(loss).get(0, 0)
+    });
+    assert_close(&analytic, &numeric, op);
+}
+
+#[test]
+fn matmul_grad_wrt_both_operands() {
+    let mut r = rng(11);
+    let a = Tensor::randn(3, 4, 0.5, &mut r);
+    let b = Tensor::randn(4, 2, 0.5, &mut r);
+    check("matmul/dA", &a, |g, x| {
+        let bv = g.constant(b.clone());
+        let c = g.matmul(x, bv);
+        g.sum(c)
+    });
+    check("matmul/dB", &b, |g, x| {
+        let av = g.constant(a.clone());
+        let c = g.matmul(av, x);
+        g.sum(c)
+    });
+}
+
+#[test]
+fn matmul_nt_grad_wrt_both_operands() {
+    let mut r = rng(12);
+    let a = Tensor::randn(3, 4, 0.5, &mut r);
+    let b = Tensor::randn(5, 4, 0.5, &mut r);
+    check("matmul_nt/dA", &a, |g, x| {
+        let bv = g.constant(b.clone());
+        let c = g.matmul_nt(x, bv);
+        g.sum(c)
+    });
+    check("matmul_nt/dB", &b, |g, x| {
+        let av = g.constant(a.clone());
+        let c = g.matmul_nt(av, x);
+        g.sum(c)
+    });
+}
+
+#[test]
+fn add_mul_scale_grads() {
+    let mut r = rng(13);
+    let a = Tensor::randn(2, 3, 1.0, &mut r);
+    let b = Tensor::randn(2, 3, 1.0, &mut r);
+    check("add", &a, |g, x| {
+        let bv = g.constant(b.clone());
+        let c = g.add(x, bv);
+        // Run through mul so add's gradient isn't trivially all-ones.
+        let d = g.mul(c, c);
+        g.sum(d)
+    });
+    check("mul/dA", &a, |g, x| {
+        let bv = g.constant(b.clone());
+        let c = g.mul(x, bv);
+        g.sum(c)
+    });
+    check("scale", &a, |g, x| {
+        let c = g.scale(x, -2.5);
+        let d = g.mul(c, c);
+        g.sum(d)
+    });
+}
+
+#[test]
+fn add_row_grad_wrt_matrix_and_bias() {
+    let mut r = rng(14);
+    let a = Tensor::randn(3, 4, 1.0, &mut r);
+    let bias = Tensor::randn(1, 4, 1.0, &mut r);
+    check("add_row/dA", &a, |g, x| {
+        let bv = g.constant(bias.clone());
+        let c = g.add_row(x, bv);
+        let d = g.mul(c, c);
+        g.sum(d)
+    });
+    check("add_row/dBias", &bias, |g, x| {
+        let av = g.constant(a.clone());
+        let c = g.add_row(av, x);
+        let d = g.mul(c, c);
+        g.sum(d)
+    });
+}
+
+#[test]
+fn softmax_grad() {
+    let x = Tensor::randn(2, 5, 1.0, &mut rng(15));
+    // Weight the softmax output so the gradient isn't identically zero
+    // (sum of a softmax row is constant 1).
+    let w = Tensor::randn(2, 5, 1.0, &mut rng(16));
+    check("softmax", &x, |g, xv| {
+        let y = g.softmax(xv);
+        let wv = g.constant(w.clone());
+        let weighted = g.mul(y, wv);
+        g.sum(weighted)
+    });
+}
+
+#[test]
+fn layer_norm_grad_wrt_input_gamma_beta() {
+    let mut r = rng(17);
+    let x = Tensor::randn(3, 6, 1.0, &mut r);
+    let gamma = Tensor::randn(1, 6, 0.5, &mut r);
+    let beta = Tensor::randn(1, 6, 0.5, &mut r);
+    let w = Tensor::randn(3, 6, 1.0, &mut r);
+    let weighted_sum = |g: &mut Graph, y| {
+        let wv = g.constant(w.clone());
+        let m = g.mul(y, wv);
+        g.sum(m)
+    };
+    check("layer_norm/dX", &x, |g, xv| {
+        let gv = g.constant(gamma.clone());
+        let bv = g.constant(beta.clone());
+        let y = g.layer_norm(xv, gv, bv);
+        weighted_sum(g, y)
+    });
+    check("layer_norm/dGamma", &gamma, |g, gv| {
+        let xv = g.constant(x.clone());
+        let bv = g.constant(beta.clone());
+        let y = g.layer_norm(xv, gv, bv);
+        weighted_sum(g, y)
+    });
+    check("layer_norm/dBeta", &beta, |g, bv| {
+        let xv = g.constant(x.clone());
+        let gv = g.constant(gamma.clone());
+        let y = g.layer_norm(xv, gv, bv);
+        weighted_sum(g, y)
+    });
+}
+
+#[test]
+fn gelu_grad() {
+    let x = Tensor::randn(2, 6, 1.5, &mut rng(18));
+    check("gelu", &x, |g, xv| {
+        let y = g.gelu(xv);
+        g.sum(y)
+    });
+}
+
+#[test]
+fn gather_grad_scatters_with_repeats() {
+    let table = Tensor::randn(5, 3, 1.0, &mut rng(19));
+    check("gather", &table, |g, t| {
+        let picked = g.gather(t, &[4, 0, 4, 2]);
+        let sq = g.mul(picked, picked);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn concat_cols_grad_splits_back() {
+    let mut r = rng(20);
+    let a = Tensor::randn(3, 2, 1.0, &mut r);
+    let b = Tensor::randn(3, 4, 1.0, &mut r);
+    check("concat_cols/dA", &a, |g, x| {
+        let bv = g.constant(b.clone());
+        let c = g.concat_cols(&[x, bv]);
+        let sq = g.mul(c, c);
+        g.sum(sq)
+    });
+    check("concat_cols/dB", &b, |g, x| {
+        let av = g.constant(a.clone());
+        let c = g.concat_cols(&[av, x]);
+        let sq = g.mul(c, c);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn mean_pool_grad() {
+    let x = Tensor::randn(4, 3, 1.0, &mut rng(21));
+    check("mean_pool", &x, |g, xv| {
+        let pooled = g.mean_pool(xv);
+        let sq = g.mul(pooled, pooled);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn cross_entropy_grad() {
+    let logits = Tensor::randn(3, 7, 1.0, &mut rng(22));
+    check("cross_entropy", &logits, |g, z| {
+        g.cross_entropy(z, &[2, 6, 0])
+    });
+}
+
+#[test]
+fn transformer_block_composite_grad() {
+    // The full pre-LN block wiring in one check: LN → per-head attention
+    // (matmul_nt scores, softmax, matmul) → concat → projection → residual
+    // → LN → GELU FFN → residual → mean-pool → weighted sum. If any
+    // backward formula composes wrongly, this catches it.
+    let mut r = rng(23);
+    let x = Tensor::randn(4, 6, 0.8, &mut r);
+    let wq = Tensor::randn(6, 3, 0.5, &mut r);
+    let wk = Tensor::randn(6, 3, 0.5, &mut r);
+    let wv_h = Tensor::randn(6, 3, 0.5, &mut r);
+    let wq2 = Tensor::randn(6, 3, 0.5, &mut r);
+    let wk2 = Tensor::randn(6, 3, 0.5, &mut r);
+    let wv2 = Tensor::randn(6, 3, 0.5, &mut r);
+    let wo = Tensor::randn(6, 6, 0.5, &mut r);
+    let gamma = Tensor::randn(1, 6, 0.3, &mut r);
+    let beta = Tensor::randn(1, 6, 0.3, &mut r);
+    let w1 = Tensor::randn(6, 8, 0.5, &mut r);
+    let b1 = Tensor::randn(1, 8, 0.3, &mut r);
+    let w2 = Tensor::randn(8, 6, 0.5, &mut r);
+    let probe_weight = Tensor::randn(1, 6, 1.0, &mut r);
+    check("transformer_block", &x, |g, xv| {
+        let gv = g.constant(gamma.clone());
+        let bv = g.constant(beta.clone());
+        let h = g.layer_norm(xv, gv, bv);
+        let mut heads = Vec::new();
+        for (q, k, v) in [(&wq, &wk, &wv_h), (&wq2, &wk2, &wv2)] {
+            let qv = g.constant(q.clone());
+            let kv = g.constant(k.clone());
+            let vv = g.constant(v.clone());
+            let qh = g.matmul(h, qv);
+            let kh = g.matmul(h, kv);
+            let vh = g.matmul(h, vv);
+            let scores = g.matmul_nt(qh, kh);
+            let scaled = g.scale(scores, 1.0 / (3.0f32).sqrt());
+            let att = g.softmax(scaled);
+            heads.push(g.matmul(att, vh));
+        }
+        let cat = g.concat_cols(&heads);
+        let wov = g.constant(wo.clone());
+        let proj = g.matmul(cat, wov);
+        let res1 = g.add(xv, proj);
+        let gv2 = g.constant(gamma.clone());
+        let bv2 = g.constant(beta.clone());
+        let h2 = g.layer_norm(res1, gv2, bv2);
+        let w1v = g.constant(w1.clone());
+        let b1v = g.constant(b1.clone());
+        let pre = g.matmul(h2, w1v);
+        let pre_b = g.add_row(pre, b1v);
+        let act = g.gelu(pre_b);
+        let w2v = g.constant(w2.clone());
+        let ff = g.matmul(act, w2v);
+        let res2 = g.add(res1, ff);
+        let pooled = g.mean_pool(res2);
+        let pw = g.constant(probe_weight.clone());
+        let weighted = g.mul(pooled, pw);
+        g.sum(weighted)
+    });
+}

@@ -233,20 +233,37 @@ fn pseudo_word(rng: &mut impl RngCore, syllables: usize) -> String {
 /// One character edit: insert, delete, replace or transpose (the edit model
 /// Febrl-style generators use; applied here at the corpus level). Words
 /// shorter than 4 characters are returned unchanged.
+///
+/// Positions are drawn per-operation so *boundary* characters are fair
+/// game: insert anywhere in `0..=len`, delete/replace anywhere in
+/// `0..len`. Transposition stays interior (`1..len-1`) — swapping across a
+/// word boundary is not a single-word edit. (An earlier version drew one
+/// interior position for every operation, which systematically spared the
+/// first and last characters — and with them FastText's boundary `<w` /
+/// `w>` n-grams.)
 pub fn inject_typo(word: &str, rng: &mut impl RngCore) -> String {
     let chars: Vec<char> = word.chars().collect();
     if chars.len() < 4 {
         return word.to_string();
     }
     let mut out = chars.clone();
-    let pos = rng.gen_range(1..chars.len() - 1);
     match rng.gen_range(0..4u32) {
-        0 => out.insert(pos, (b'a' + rng.gen_range(0..26u8)) as char),
+        0 => {
+            let pos = rng.gen_range(0..=chars.len());
+            out.insert(pos, (b'a' + rng.gen_range(0..26u8)) as char);
+        }
         1 => {
+            let pos = rng.gen_range(0..chars.len());
             out.remove(pos);
         }
-        2 => out[pos] = (b'a' + rng.gen_range(0..26u8)) as char,
-        _ => out.swap(pos, pos - 1),
+        2 => {
+            let pos = rng.gen_range(0..chars.len());
+            out[pos] = (b'a' + rng.gen_range(0..26u8)) as char;
+        }
+        _ => {
+            let pos = rng.gen_range(1..chars.len() - 1);
+            out.swap(pos, pos - 1);
+        }
     }
     out.into_iter().collect()
 }
@@ -387,6 +404,31 @@ mod tests {
         assert!(!t.is_empty());
         // Short words are left alone (typo would destroy them entirely).
         assert_eq!(inject_typo("the", &mut r), "the");
+    }
+
+    #[test]
+    fn typos_reach_word_boundaries() {
+        // The Febrl-style edit model must be able to touch the first and
+        // last characters (insert/delete/replace); the interior-only bug
+        // could never change either boundary character.
+        let mut r = rng(4);
+        let word = "restaurant";
+        let (mut front, mut back, mut longer, mut shorter) = (false, false, false, false);
+        for _ in 0..500 {
+            let t = inject_typo(word, &mut r);
+            let tc: Vec<char> = t.chars().collect();
+            if tc.first() != Some(&'r') {
+                front = true;
+            }
+            if tc.last() != Some(&'t') {
+                back = true;
+            }
+            longer |= tc.len() > word.len();
+            shorter |= tc.len() < word.len();
+        }
+        assert!(front, "no edit ever touched the first character");
+        assert!(back, "no edit ever touched the last character");
+        assert!(longer && shorter, "insert/delete did not both occur");
     }
 
     #[test]

@@ -3,6 +3,14 @@
 
 use crate::normalize::normalize;
 
+/// The reserved masking token for MLM pre-training (DESIGN.md row 7).
+///
+/// It contains `[`/`]`, which [`normalize`] strips, so [`tokenize`] can
+/// never emit it from real text — the MLM objective's mask can't collide
+/// with a genuine corpus token. Vocabularies that support dynamic models
+/// append it as a special entry (`er_embed::Vocab::with_special`).
+pub const MASK_TOKEN: &str = "[mask]";
+
 /// Tokenize into normalized lowercase words.
 pub fn tokenize(text: &str) -> Vec<String> {
     normalize(text)
@@ -28,5 +36,14 @@ mod tests {
     fn empty_and_punctuation_only_inputs_yield_no_tokens() {
         assert!(tokenize("").is_empty());
         assert!(tokenize(" .,;:!? ").is_empty());
+    }
+
+    #[test]
+    fn mask_token_cannot_be_produced_by_tokenization() {
+        // Even text that literally contains the mask token tokenizes to the
+        // bare word — the bracketed reserved form is unreachable.
+        let tokens = tokenize("a [mask] b [MASK]");
+        assert_eq!(tokens, vec!["a", "mask", "b", "mask"]);
+        assert!(tokens.iter().all(|t| t != MASK_TOKEN));
     }
 }

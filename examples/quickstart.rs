@@ -1,6 +1,7 @@
-//! Quickstart: pre-train the static model zoo, embed a pair of dirty
-//! duplicates with each model and print the cosine similarities — the
-//! FastText-vs-GloVe typo contrast of the paper's Fig. 3 in miniature —
+//! Quickstart: pre-train the model zoo (three statics + the BT
+//! transformer), embed a pair of dirty duplicates with each model and
+//! print the cosine similarities — the FastText-vs-GloVe typo contrast
+//! of the paper's Fig. 3 in miniature —
 //! then run the blocking stage: generate the D1 Clean-Clean analogue and
 //! block it with each ANN backend, reporting pairs-completeness.
 //!
@@ -11,8 +12,10 @@ use embeddings4er::prelude::*;
 fn main() {
     let zoo = ModelZoo::pretrain(None, &ZooConfig::fast(), 42);
     println!(
-        "pre-trained {} static models at scale {:?} (seed {})",
+        "pre-trained {} models ({} static + {} dynamic) at scale {:?} (seed {})",
         zoo.models().len(),
+        ModelCode::STATIC.len(),
+        ModelCode::DYNAMIC.len(),
         zoo.scale(),
         zoo.seed()
     );
@@ -37,7 +40,8 @@ fn main() {
         );
     }
     println!("\nFastText embeds the typo'd word via its char-n-gram buckets;");
-    println!("Word2Vec and GloVe drop every OOV token on the floor (cosine 0).");
+    println!("Word2Vec, GloVe and BERT (BT) — whose closed vocabulary has no");
+    println!("subword fallback — drop every OOV token on the floor (cosine 0).");
 
     // Stage 2 — blocking. Generate the D1 restaurant analogue (known
     // ground truth), vectorize with FastText, and compare the exact scan
