@@ -1,0 +1,118 @@
+//! Sustained-throughput benchmark of the `er-serve` Resolver, emitting the
+//! machine-readable `BENCH_resolver.json` snapshot the ROADMAP's per-PR
+//! perf trajectory starts from.
+//!
+//! Three phases over a tiny-zoo FT model and synthetic entities:
+//!
+//! 1. **insert** — stream `N` fresh records into an empty service;
+//! 2. **query-under-churn** — top-10 queries interleaved 1:1 with
+//!    upsert/delete mutations against the live service;
+//! 3. **save/load** — full `to_bytes` → `from_bytes` round trips of the
+//!    populated service.
+//!
+//! Each phase reports wall-clock and ops/sec. Run from the workspace root
+//! (`cargo run --release -p er-bench --bin bench_resolver`); pass a path
+//! argument to redirect the JSON (default `BENCH_resolver.json`).
+
+use embeddings4er::prelude::*;
+use er_bench::SEED;
+use er_core::json::Json;
+use std::time::Instant;
+
+const RECORDS: usize = 1_500;
+const CHURN_OPS: usize = 600;
+const ROUND_TRIPS: usize = 20;
+
+fn entity(id: u32) -> Entity {
+    Entity::new(
+        EntityId(id),
+        vec![
+            ("name".into(), format!("establishment number {id}")),
+            ("street".into(), format!("{} main street", id % 97)),
+            ("city".into(), format!("district {}", id % 13)),
+        ],
+    )
+}
+
+fn phase(name: &str, ops: usize, wall_s: f64) -> Json {
+    Json::Obj(vec![
+        ("phase".into(), Json::from_str_value(name)),
+        ("ops".into(), Json::from_usize(ops)),
+        ("wall_s".into(), Json::from_f32(wall_s as f32)),
+        (
+            "ops_per_sec".into(),
+            Json::from_f32((ops as f64 / wall_s) as f32),
+        ),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_resolver.json".into());
+    let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), SEED);
+    let model = zoo.get(ModelCode::FT);
+    let mut resolver = Resolver::new(
+        model.as_ref(),
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new().shards(4),
+    );
+
+    // Phase 1: streaming inserts into an empty service.
+    let start = Instant::now();
+    for id in 0..RECORDS as u32 {
+        resolver.insert(&entity(id)).unwrap();
+    }
+    let insert_wall = start.elapsed().as_secs_f64();
+    assert_eq!(resolver.len(), RECORDS);
+
+    // Phase 2: queries interleaved 1:1 with mutations. Each iteration is
+    // one top-10 query plus one churn op (upsert an existing id, or
+    // delete + re-insert), so the index never goes quiet while serving.
+    let start = Instant::now();
+    let mut live_hits = 0usize;
+    for i in 0..CHURN_OPS as u32 {
+        let probe = entity(i % RECORDS as u32);
+        live_hits += resolver.query(&probe, 10).len();
+        let victim = EntityId((i * 7) % RECORDS as u32);
+        if i % 2 == 0 {
+            resolver.upsert(&entity(victim.0)).unwrap();
+        } else {
+            resolver.delete(victim);
+            resolver.insert(&entity(victim.0)).unwrap();
+        }
+    }
+    let churn_wall = start.elapsed().as_secs_f64();
+    assert!(live_hits > 0, "queries under churn returned nothing");
+
+    // Phase 3: whole-service persistence round trips.
+    let start = Instant::now();
+    let mut bytes = Vec::new();
+    for _ in 0..ROUND_TRIPS {
+        bytes = resolver.to_bytes();
+        let back = Resolver::from_bytes(&bytes, model.as_ref()).unwrap();
+        assert_eq!(back.len(), resolver.len());
+    }
+    let persist_wall = start.elapsed().as_secs_f64();
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::from_str_value("resolver")),
+        ("seed".into(), Json::from_u64(SEED)),
+        ("records".into(), Json::from_usize(RECORDS)),
+        ("dim".into(), Json::from_usize(model.dim())),
+        ("shards".into(), Json::from_usize(4)),
+        ("snapshot_bytes".into(), Json::from_usize(bytes.len())),
+        (
+            "phases".into(),
+            Json::Arr(vec![
+                phase("insert", RECORDS, insert_wall),
+                // A churn iteration is one query + one mutation = 2 ops.
+                phase("query_under_churn", CHURN_OPS * 2, churn_wall),
+                phase("save_load", ROUND_TRIPS, persist_wall),
+            ]),
+        ),
+    ]);
+    let text = format!("{doc}\n");
+    std::fs::write(&out_path, &text).expect("write benchmark snapshot");
+    print!("{text}");
+}

@@ -10,6 +10,9 @@ pub enum ErError {
     Parse(String),
     /// Model misuse (unknown model code, dimension mismatch).
     Model(String),
+    /// Binary persistence integrity failure (bad magic/version/checksum,
+    /// truncated payload) — see `er_core::binary`.
+    Corrupt(String),
 }
 
 pub type Result<T> = std::result::Result<T, ErError>;
@@ -20,6 +23,7 @@ impl fmt::Display for ErError {
             ErError::Io(msg) => write!(f, "io error: {msg}"),
             ErError::Parse(msg) => write!(f, "parse error: {msg}"),
             ErError::Model(msg) => write!(f, "model error: {msg}"),
+            ErError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
         }
     }
 }

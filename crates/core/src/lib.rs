@@ -6,9 +6,12 @@
 //! collection storage the pipeline trades in ([`EmbeddingMatrix`] with the
 //! [`VectorSource`] seam), the shared distance kernels ([`kernels`]),
 //! evaluation primitives ([`GroundTruth`], [`ScoredPair`]), the workspace
-//! error type ([`ErError`]), a portable seeded RNG ([`rng::rng`]) and a
-//! dependency-free JSON reader/writer ([`json`]) used for model persistence.
+//! error type ([`ErError`]), a portable seeded RNG ([`rng::rng`]), a
+//! dependency-free JSON reader/writer ([`json`]) used for model persistence,
+//! and the checksummed little-endian binary container ([`binary`]) the
+//! serving path persists matrices, indices and resolvers with.
 
+pub mod binary;
 pub mod entity;
 pub mod error;
 pub mod json;

@@ -61,6 +61,27 @@ impl EmbeddingMatrix {
         Ok(EmbeddingMatrix { dim, data, norms })
     }
 
+    /// Reassemble a matrix from a flat buffer **and its already-computed
+    /// norms** — the binary-persistence load path (`er_core::binary`),
+    /// which must reconstitute the exact bits the build cached instead of
+    /// re-deriving them. Validates shape only; the norms are trusted.
+    pub fn from_parts(dim: usize, data: Vec<f32>, norms: Vec<f32>) -> Result<EmbeddingMatrix> {
+        if dim == 0 && !data.is_empty() {
+            return Err(ErError::Parse(
+                "EmbeddingMatrix: non-empty data with dim 0".into(),
+            ));
+        }
+        if data.len() != dim * norms.len() {
+            return Err(ErError::Parse(format!(
+                "EmbeddingMatrix: {} floats with dim {dim} needs {} norms, got {}",
+                data.len(),
+                data.len().checked_div(dim).unwrap_or(0),
+                norms.len()
+            )));
+        }
+        Ok(EmbeddingMatrix { dim, data, norms })
+    }
+
     /// Copy a `Vec<Embedding>` into contiguous storage, bit-exactly.
     ///
     /// The dimension is taken from the first embedding (0 when empty).
@@ -166,6 +187,18 @@ impl VectorStore<'_> {
         match self {
             VectorStore::Owned(m) => m,
             VectorStore::Borrowed(m) => m,
+        }
+    }
+
+    /// Mutable access — only for an *owned* matrix. Borrowed stores return
+    /// `None`: the zero-copy contract says an index never mutates (or
+    /// clones) a matrix the pipeline lent it, so incremental mutation is
+    /// reserved for indices that own their storage (the `er-serve` path).
+    #[inline]
+    pub fn matrix_mut(&mut self) -> Option<&mut EmbeddingMatrix> {
+        match self {
+            VectorStore::Owned(m) => Some(m),
+            VectorStore::Borrowed(_) => None,
         }
     }
 }

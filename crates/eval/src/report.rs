@@ -5,6 +5,7 @@
 //! wall-clock split plus candidate counts without ad-hoc `Instant`
 //! plumbing at call sites.
 
+use er_core::json::Json;
 use std::time::Duration;
 
 /// One pipeline stage: what ran, how long it took, and how many items
@@ -65,6 +66,43 @@ impl StageReport {
     pub fn is_empty(&self) -> bool {
         self.stages.is_empty()
     }
+
+    /// Item count of the first stage recorded under `name` (0 if absent) —
+    /// the record/candidate counts callers grep a report for.
+    pub fn items_of(&self, name: &str) -> usize {
+        self.get(name).map(|s| s.items).unwrap_or(0)
+    }
+
+    /// The report as a machine-readable JSON object:
+    ///
+    /// ```json
+    /// {"stages": [{"stage": "block", "wall_us": 1532, "items": 412}, ...],
+    ///  "total_wall_us": 98211}
+    /// ```
+    ///
+    /// Wall-clocks are integral microseconds so the document is
+    /// byte-deterministic for a given set of durations (no float
+    /// formatting involved).
+    pub fn to_json(&self) -> Json {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("stage".into(), Json::from_str_value(&s.stage)),
+                    ("wall_us".into(), Json::from_u64(s.wall.as_micros() as u64)),
+                    ("items".into(), Json::from_usize(s.items)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("stages".into(), Json::Arr(stages)),
+            (
+                "total_wall_us".into(),
+                Json::from_u64(self.total_wall().as_micros() as u64),
+            ),
+        ])
+    }
 }
 
 impl std::fmt::Display for StageReport {
@@ -115,6 +153,34 @@ mod tests {
         let stage = report.get("double").unwrap();
         assert_eq!(stage.items, 5);
         assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn to_json_round_trips_counts_and_microsecond_walls() {
+        let mut report = StageReport::new();
+        report.record("vectorize", Duration::from_micros(1500), 90);
+        report.record("block", Duration::from_micros(250), 412);
+        let json = report.to_json();
+        let text = json.to_string();
+        // Machine-readable and re-parseable with the workspace parser.
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, json);
+        let stages = parsed.expect("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(
+            stages[1].expect("stage").unwrap().as_str().unwrap(),
+            "block"
+        );
+        assert_eq!(stages[1].expect("items").unwrap().as_usize().unwrap(), 412);
+        assert_eq!(stages[0].expect("wall_us").unwrap().as_u64().unwrap(), 1500);
+        assert_eq!(
+            parsed.expect("total_wall_us").unwrap().as_u64().unwrap(),
+            1750
+        );
+        // Same durations, same bytes.
+        assert_eq!(text, report.to_json().to_string());
+        assert_eq!(report.items_of("block"), 412);
+        assert_eq!(report.items_of("missing"), 0);
     }
 
     #[test]

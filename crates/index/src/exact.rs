@@ -3,8 +3,8 @@
 //! contiguous rows of an [`EmbeddingMatrix`] with precomputed row norms,
 //! so a cosine pass reads each stored vector exactly once.
 
-use crate::{Metric, Neighbor, NnIndex};
-use er_core::{Embedding, EmbeddingMatrix, VectorSource, VectorStore};
+use crate::{Metric, MutableIndex, Neighbor, NnIndex};
+use er_core::{Embedding, EmbeddingMatrix, ErError, VectorSource, VectorStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -39,8 +39,12 @@ impl Ord for Hit {
 
 #[derive(Debug, Clone)]
 pub struct ExactIndex<'a> {
-    store: VectorStore<'a>,
-    metric: Metric,
+    pub(crate) store: VectorStore<'a>,
+    pub(crate) metric: Metric,
+    /// Tombstones: deleted rows stay in the matrix (ids are stable) but
+    /// the scan skips them.
+    pub(crate) deleted: Vec<bool>,
+    pub(crate) deleted_count: usize,
 }
 
 impl ExactIndex<'static> {
@@ -65,9 +69,13 @@ impl<'a> ExactIndex<'a> {
     /// [`VectorStore`] — a borrowed matrix, an owned matrix, or a legacy
     /// `&[Embedding]` (copied once).
     pub fn from_source(source: impl VectorSource<'a>, metric: Metric) -> ExactIndex<'a> {
+        let store = source.into_store();
+        let n = store.len();
         ExactIndex {
-            store: source.into_store(),
+            store,
             metric,
+            deleted: vec![false; n],
+            deleted_count: 0,
         }
     }
 
@@ -87,13 +95,16 @@ impl NnIndex for ExactIndex<'_> {
     }
 
     fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        if k == 0 {
+        if k == 0 || self.live_count() == 0 {
             return Vec::new();
         }
         let matrix = self.store.matrix();
         let query_norm = self.metric.query_norm(query);
         let mut heap: BinaryHeap<Hit> = BinaryHeap::with_capacity(k + 1);
         for (idx, row) in matrix.rows_iter().enumerate() {
+            if self.deleted[idx] {
+                continue;
+            }
             let dist = self
                 .metric
                 .distance_prenorm(query, query_norm, row, matrix.norm(idx));
@@ -114,6 +125,49 @@ impl NnIndex for ExactIndex<'_> {
                 .then_with(|| a.index.cmp(&b.index))
         });
         hits
+    }
+}
+
+impl MutableIndex for ExactIndex<'_> {
+    fn insert_row(&mut self, row: &[f32]) -> er_core::Result<usize> {
+        let matrix = self.store.matrix_mut().ok_or_else(|| {
+            ErError::Model(
+                "ExactIndex::insert_row: the index borrows its matrix; \
+                 streaming mutation needs an owned store"
+                    .into(),
+            )
+        })?;
+        if matrix.is_empty() && matrix.dim() == 0 && !row.is_empty() {
+            // An index built over nothing adopts the first row's dimension.
+            *matrix = EmbeddingMatrix::new(row.len());
+        }
+        if matrix.dim() != row.len() {
+            return Err(ErError::Model(format!(
+                "ExactIndex::insert_row: pushed a {}-d row into a {}-d index",
+                row.len(),
+                matrix.dim()
+            )));
+        }
+        matrix.push(row);
+        self.deleted.push(false);
+        Ok(self.store.len() - 1)
+    }
+
+    fn delete_row(&mut self, index: usize) -> bool {
+        if index >= self.deleted.len() || self.deleted[index] {
+            return false;
+        }
+        self.deleted[index] = true;
+        self.deleted_count += 1;
+        true
+    }
+
+    fn is_deleted(&self, index: usize) -> bool {
+        self.deleted.get(index).copied().unwrap_or(false)
+    }
+
+    fn live_count(&self) -> usize {
+        self.store.len() - self.deleted_count
     }
 }
 

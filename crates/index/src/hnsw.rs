@@ -18,17 +18,25 @@
 //! dedicated stream of `er_core::rng` seeded by `HnswConfig::seed`; every
 //! heap and neighbour comparison tie-breaks on node id, so one
 //! `(vectors, config)` pair always builds the bit-identical graph.
+//!
+//! Incremental mutation (the `er-serve` path): the level stream lives *in*
+//! the index, and the batch build is nothing but a loop of single-node
+//! inserts — so [`MutableIndex::insert_row`] calls after a build continue
+//! the same stream, and inserting rows one at a time in build order
+//! produces the bit-identical graph a batch build would (pinned by tests).
+//! Deletions are tombstones: the node keeps its id and its links (it still
+//! routes searches through the graph) but is masked out of results.
 
-use crate::{Metric, Neighbor, NnIndex};
-use er_core::rng::derive;
-use er_core::{Embedding, EmbeddingMatrix, VectorSource, VectorStore};
+use crate::{Metric, MutableIndex, Neighbor, NnIndex};
+use er_core::rng::{derive, DetRng};
+use er_core::{Embedding, EmbeddingMatrix, ErError, VectorSource, VectorStore};
 use rand::Rng;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// Levels are capped so a pathological RNG draw cannot allocate an
 /// unbounded tower (16 layers already covers ~M^16 nodes).
-const MAX_LEVEL: usize = 16;
+pub(crate) const MAX_LEVEL: usize = 16;
 
 /// Tunables of the graph (the paper sweeps `ef_search` in its FAISS
 /// configuration ablation; see `bench_indexing`).
@@ -90,12 +98,20 @@ impl Ord for Cand {
 
 #[derive(Debug, Clone)]
 pub struct HnswIndex<'a> {
-    store: VectorStore<'a>,
+    pub(crate) store: VectorStore<'a>,
     /// `neighbors[node][layer]` — adjacency lists, layer 0 first.
-    neighbors: Vec<Vec<Vec<u32>>>,
-    entry: u32,
-    max_level: usize,
-    config: HnswConfig,
+    pub(crate) neighbors: Vec<Vec<Vec<u32>>>,
+    pub(crate) entry: u32,
+    pub(crate) max_level: usize,
+    pub(crate) config: HnswConfig,
+    /// The level-sampling stream, positioned after one draw per stored
+    /// node — a later `insert_row` continues exactly where the build left
+    /// off (and persistence replays the stream to this position on load).
+    pub(crate) level_rng: DetRng,
+    /// Tombstones: `deleted[node]` masks the node out of search results
+    /// while its links keep routing.
+    pub(crate) deleted: Vec<bool>,
+    pub(crate) deleted_count: usize,
 }
 
 impl HnswIndex<'static> {
@@ -112,29 +128,54 @@ impl<'a> HnswIndex<'a> {
     }
 
     /// The [`VectorSource`] seam: build the graph over any vector storage.
+    ///
+    /// The batch build *is* the incremental path — one level draw plus one
+    /// insert per row — so `insert_row` calls afterwards continue the same
+    /// level stream and the graph never depends on which path built it.
     pub fn from_source(source: impl VectorSource<'a>, config: HnswConfig) -> HnswIndex<'a> {
         assert!(config.m >= 2, "HNSW needs m >= 2");
         assert!(config.ef_construction >= 1 && config.ef_search >= 1);
         let store = source.into_store();
         let n = store.len();
+        let level_rng = derive(config.seed, "hnsw-levels");
         let mut index = HnswIndex {
             store,
             neighbors: Vec::with_capacity(n),
             entry: 0,
             max_level: 0,
             config,
+            level_rng,
+            deleted: vec![false; n],
+            deleted_count: 0,
         };
-        // Exponentially-decaying level distribution: P(level ≥ l) = M^(-l).
-        let ml = 1.0 / (index.config.m as f64).ln();
-        let mut levels = derive(index.config.seed, "hnsw-levels");
         let mut visited = vec![false; n];
         for id in 0..n as u32 {
-            let u: f64 = levels.gen_range(0.0..1.0);
-            // 1−u ∈ (0, 1] keeps ln finite; u = 0 maps to level 0.
-            let level = ((-(1.0 - u).ln()) * ml) as usize;
-            index.insert(id, level.min(MAX_LEVEL), &mut visited);
+            let level = index.draw_level();
+            index.insert(id, level, &mut visited);
         }
         index
+    }
+
+    /// One draw from the level stream: the exponentially-decaying level
+    /// distribution P(level ≥ l) = M^(-l), capped at [`MAX_LEVEL`].
+    fn draw_level(&mut self) -> usize {
+        let ml = 1.0 / (self.config.m as f64).ln();
+        let u: f64 = self.level_rng.gen_range(0.0..1.0);
+        // 1−u ∈ (0, 1] keeps ln finite; u = 0 maps to level 0.
+        let level = ((-(1.0 - u).ln()) * ml) as usize;
+        level.min(MAX_LEVEL)
+    }
+
+    /// Reposition a fresh level stream after `draws` nodes — how the
+    /// persistence load path reconstitutes [`Self::level_rng`] without
+    /// serializing generator internals: the draw count always equals the
+    /// number of stored rows.
+    pub(crate) fn level_rng_after(seed: u64, draws: usize) -> DetRng {
+        let mut rng = derive(seed, "hnsw-levels");
+        for _ in 0..draws {
+            let _: f64 = rng.gen_range(0.0..1.0);
+        }
+        rng
     }
 
     pub fn config(&self) -> &HnswConfig {
@@ -353,6 +394,63 @@ impl<'a> HnswIndex<'a> {
         cands.sort_unstable();
         self.select_neighbors(&cands, max_conn)
     }
+
+    /// [`Self::search_layer`] with tombstone masking: deleted nodes are
+    /// traversed (they keep routing the beam through the graph) but only
+    /// live nodes may enter the result set, so the beam keeps `ef` *live*
+    /// candidates and `k ≤ ef` hits never contain a deleted id.
+    fn search_layer_masked(
+        &self,
+        query: &[f32],
+        query_norm: f32,
+        entries: &[Cand],
+        ef: usize,
+        layer: usize,
+        visited: &mut [bool],
+    ) -> Vec<Cand> {
+        visited.iter_mut().for_each(|v| *v = false);
+        let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        let mut results: BinaryHeap<Cand> = BinaryHeap::with_capacity(ef + 1);
+        for &e in entries {
+            if !std::mem::replace(&mut visited[e.id as usize], true) {
+                frontier.push(Reverse(e));
+                if !self.deleted[e.id as usize] {
+                    results.push(e);
+                }
+            }
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Reverse(cand)) = frontier.pop() {
+            // Unlike the unmasked beam, `results` may still be empty here
+            // (all entries deleted), so the cut-off only applies once full.
+            if results.len() == ef && cand.dist > results.peek().expect("full").dist {
+                break;
+            }
+            for &nb in &self.neighbors[cand.id as usize][layer] {
+                if std::mem::replace(&mut visited[nb as usize], true) {
+                    continue;
+                }
+                let next = Cand {
+                    dist: self.dist(query, query_norm, nb),
+                    id: nb,
+                };
+                if results.len() < ef || next < *results.peek().expect("non-empty") {
+                    frontier.push(Reverse(next));
+                    if !self.deleted[nb as usize] {
+                        results.push(next);
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = results.into_vec();
+        out.sort_unstable();
+        out
+    }
 }
 
 impl NnIndex for HnswIndex<'_> {
@@ -365,7 +463,7 @@ impl NnIndex for HnswIndex<'_> {
     }
 
     fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        if k == 0 || self.store.is_empty() {
+        if k == 0 || self.live_count() == 0 {
             return Vec::new();
         }
         let query_norm = self.config.metric.query_norm(query);
@@ -373,17 +471,70 @@ impl NnIndex for HnswIndex<'_> {
             dist: self.dist(query, query_norm, self.entry),
             id: self.entry,
         };
+        // The greedy descent may pass through (or land on) deleted nodes —
+        // they only route; layer 0 masks them out of the results.
         for layer in (1..=self.max_level).rev() {
             cur = self.greedy_closest(query, query_norm, cur, layer);
         }
         let ef = self.config.ef_search.max(k);
         let mut visited = vec![false; self.store.len()];
-        let found = self.search_layer(query, query_norm, &[cur], ef, 0, &mut visited);
+        let found = if self.deleted_count == 0 {
+            self.search_layer(query, query_norm, &[cur], ef, 0, &mut visited)
+        } else {
+            self.search_layer_masked(query, query_norm, &[cur], ef, 0, &mut visited)
+        };
         found
             .into_iter()
             .take(k)
             .map(|c| Neighbor::new(c.id as usize, c.dist))
             .collect()
+    }
+}
+
+impl MutableIndex for HnswIndex<'_> {
+    fn insert_row(&mut self, row: &[f32]) -> er_core::Result<usize> {
+        let matrix = self.store.matrix_mut().ok_or_else(|| {
+            ErError::Model(
+                "HnswIndex::insert_row: the index borrows its matrix; \
+                 streaming mutation needs an owned store"
+                    .into(),
+            )
+        })?;
+        if matrix.is_empty() && matrix.dim() == 0 && !row.is_empty() {
+            // An index built over nothing adopts the first row's dimension.
+            *matrix = EmbeddingMatrix::new(row.len());
+        }
+        if matrix.dim() != row.len() {
+            return Err(ErError::Model(format!(
+                "HnswIndex::insert_row: pushed a {}-d row into a {}-d index",
+                row.len(),
+                matrix.dim()
+            )));
+        }
+        matrix.push(row);
+        let id = self.store.len() - 1;
+        self.deleted.push(false);
+        let level = self.draw_level();
+        let mut visited = vec![false; self.store.len()];
+        self.insert(id as u32, level, &mut visited);
+        Ok(id)
+    }
+
+    fn delete_row(&mut self, index: usize) -> bool {
+        if index >= self.deleted.len() || self.deleted[index] {
+            return false;
+        }
+        self.deleted[index] = true;
+        self.deleted_count += 1;
+        true
+    }
+
+    fn is_deleted(&self, index: usize) -> bool {
+        self.deleted.get(index).copied().unwrap_or(false)
+    }
+
+    fn live_count(&self) -> usize {
+        self.store.len() - self.deleted_count
     }
 }
 

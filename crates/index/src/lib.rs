@@ -17,6 +17,7 @@ pub mod exact;
 pub mod hnsw;
 pub mod lsh;
 pub mod metric;
+pub mod persist;
 
 pub use exact::ExactIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
@@ -44,6 +45,35 @@ impl Neighbor {
     pub fn new(index: usize, distance: f32) -> Neighbor {
         Neighbor { index, distance }
     }
+}
+
+/// Streaming mutation on top of [`NnIndex`] — the `er-serve` contract.
+///
+/// Row ids are **stable**: a deleted row keeps its id (and, for HNSW, its
+/// graph links, which still route searches); it is merely masked out of
+/// every result set. [`NnIndex::len`] keeps counting *stored* rows;
+/// [`MutableIndex::live_count`] counts the searchable ones, and a search
+/// with `k > live_count` truncates cleanly instead of surfacing tombstones.
+pub trait MutableIndex: NnIndex {
+    /// Append one vector, returning its new row id.
+    ///
+    /// Fails if the index *borrows* its matrix (zero-copy stores stay
+    /// frozen — see `er_core::VectorStore::matrix_mut`) or on a dimension
+    /// mismatch. An index built over an empty dim-0 store adopts the first
+    /// inserted row's dimension where nothing dimension-dependent was
+    /// precomputed (exact, HNSW); LSH drew its hyperplanes at build time
+    /// and rejects the mismatch instead.
+    fn insert_row(&mut self, row: &[f32]) -> er_core::Result<usize>;
+
+    /// Tombstone a row. Returns `false` when the id is out of range or
+    /// already deleted. Deleted rows never appear in search results.
+    fn delete_row(&mut self, index: usize) -> bool;
+
+    /// Whether `index` is tombstoned (out-of-range ids are not).
+    fn is_deleted(&self, index: usize) -> bool;
+
+    /// Stored rows minus tombstones — the most hits any search can return.
+    fn live_count(&self) -> usize;
 }
 
 /// A nearest-neighbour index over a fixed set of embeddings. Searches

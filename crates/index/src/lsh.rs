@@ -15,9 +15,9 @@
 //! follow it, which makes recall provably non-decreasing in `tables` for a
 //! fixed seed (the candidate union only grows).
 
-use crate::{Metric, Neighbor, NnIndex};
+use crate::{Metric, MutableIndex, Neighbor, NnIndex};
 use er_core::rng::derive;
-use er_core::{kernels, Embedding, EmbeddingMatrix, VectorSource, VectorStore};
+use er_core::{kernels, Embedding, EmbeddingMatrix, ErError, VectorSource, VectorStore};
 use rand::{Rng, RngCore};
 use std::collections::HashMap;
 
@@ -49,20 +49,36 @@ impl Default for LshConfig {
 }
 
 #[derive(Debug, Clone)]
-struct Table {
+pub(crate) struct Table {
     /// `planes × dim`, row-major.
-    hyperplanes: Vec<Vec<f32>>,
+    pub(crate) hyperplanes: Vec<Vec<f32>>,
     /// Signature → vector ids, ids in insertion (= index) order.
-    buckets: HashMap<u64, Vec<u32>>,
+    pub(crate) buckets: HashMap<u64, Vec<u32>>,
     /// Per-vector signature, for the determinism contract.
-    signatures: Vec<u64>,
+    pub(crate) signatures: Vec<u64>,
+}
+
+impl Table {
+    /// Rebuild the signature → ids map from stored signatures, in id order
+    /// — the persistence load path, which must never redo the float dot
+    /// products that produced the signatures.
+    pub(crate) fn rebuild_buckets(&mut self) {
+        self.buckets.clear();
+        for (id, &sig) in self.signatures.iter().enumerate() {
+            self.buckets.entry(sig).or_default().push(id as u32);
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 pub struct HyperplaneLsh<'a> {
-    store: VectorStore<'a>,
-    tables: Vec<Table>,
-    config: LshConfig,
+    pub(crate) store: VectorStore<'a>,
+    pub(crate) tables: Vec<Table>,
+    pub(crate) config: LshConfig,
+    /// Tombstones: deleted ids stay hashed in their buckets (ids are
+    /// stable) but candidate gathering skips them.
+    pub(crate) deleted: Vec<bool>,
+    pub(crate) deleted_count: usize,
 }
 
 /// Standard normal via Box–Muller (the vendored `rand` has no
@@ -116,10 +132,13 @@ impl<'a> HyperplaneLsh<'a> {
                 }
             })
             .collect();
+        let n = store.len();
         HyperplaneLsh {
             store,
             tables,
             config,
+            deleted: vec![false; n],
+            deleted_count: 0,
         }
     }
 
@@ -176,7 +195,9 @@ impl<'a> HyperplaneLsh<'a> {
             for probe in probes {
                 if let Some(bucket) = table.buckets.get(&probe) {
                     for &id in bucket {
-                        if !std::mem::replace(&mut seen[id as usize], true) {
+                        if !self.deleted[id as usize]
+                            && !std::mem::replace(&mut seen[id as usize], true)
+                        {
                             out.push(id);
                         }
                     }
@@ -220,7 +241,7 @@ impl NnIndex for HyperplaneLsh<'_> {
     }
 
     fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        if k == 0 {
+        if k == 0 || self.live_count() == 0 {
             return Vec::new();
         }
         let matrix = self.store.matrix();
@@ -245,6 +266,54 @@ impl NnIndex for HyperplaneLsh<'_> {
         });
         hits.truncate(k);
         hits
+    }
+}
+
+impl MutableIndex for HyperplaneLsh<'_> {
+    fn insert_row(&mut self, row: &[f32]) -> er_core::Result<usize> {
+        let matrix = self.store.matrix_mut().ok_or_else(|| {
+            ErError::Model(
+                "HyperplaneLsh::insert_row: the index borrows its matrix; \
+                 streaming mutation needs an owned store"
+                    .into(),
+            )
+        })?;
+        // No dimension adoption here: the hyperplanes were drawn against
+        // the build-time dimension, so a mismatched row cannot be hashed.
+        if matrix.dim() != row.len() {
+            return Err(ErError::Model(format!(
+                "HyperplaneLsh::insert_row: pushed a {}-d row into a {}-d index \
+                 (build over `EmbeddingMatrix::new(dim)` for an empty start)",
+                row.len(),
+                matrix.dim()
+            )));
+        }
+        matrix.push(row);
+        let id = (self.store.len() - 1) as u32;
+        self.deleted.push(false);
+        for table in &mut self.tables {
+            let sig = signature(&table.hyperplanes, row);
+            table.signatures.push(sig);
+            table.buckets.entry(sig).or_default().push(id);
+        }
+        Ok(id as usize)
+    }
+
+    fn delete_row(&mut self, index: usize) -> bool {
+        if index >= self.deleted.len() || self.deleted[index] {
+            return false;
+        }
+        self.deleted[index] = true;
+        self.deleted_count += 1;
+        true
+    }
+
+    fn is_deleted(&self, index: usize) -> bool {
+        self.deleted.get(index).copied().unwrap_or(false)
+    }
+
+    fn live_count(&self) -> usize {
+        self.store.len() - self.deleted_count
     }
 }
 

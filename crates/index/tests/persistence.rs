@@ -1,0 +1,216 @@
+//! Persistence-format coverage (ISSUE 6 satellite): property-based
+//! round-trips — save → load → bit-identical top-k for all three backends
+//! × both metrics — plus corrupted-header and truncated-file loads
+//! returning typed [`ErError::Corrupt`] instead of panicking.
+
+use er_core::{Embedding, ErError};
+use er_index::{
+    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex, NnIndex,
+};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Embedding> {
+    let mut r = er_core::rng::rng(seed);
+    (0..n)
+        .map(|_| Embedding((0..dim).map(|_| r.gen_range(-4.0..4.0)).collect()))
+        .collect()
+}
+
+fn assert_same_hits(a: &impl NnIndex, b: &impl NnIndex, queries: &[Embedding], k: usize) {
+    for q in queries {
+        let (ha, hb) = (a.search(q, k), b.search(q, k));
+        assert_eq!(ha.len(), hb.len());
+        for (x, y) in ha.iter().zip(&hb) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(
+                x.distance.to_bits(),
+                y.distance.to_bits(),
+                "distance drifted"
+            );
+        }
+    }
+}
+
+proptest! {
+    fn exact_round_trip_bit_identical(
+        n in 0..40usize,
+        dim in 1..12usize,
+        seed in 0..100_000u64,
+        metric_pick in 0..2usize,
+        del_stride in 0..5usize,
+    ) {
+        let metric = [Metric::Euclidean, Metric::Cosine][metric_pick];
+        let vs = vectors(n, dim, seed);
+        let mut index = ExactIndex::with_metric(&vs, metric);
+        if del_stride > 0 {
+            for i in (0..n).step_by(del_stride) {
+                index.delete_row(i);
+            }
+        }
+        let back = ExactIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back.metric(), metric);
+        assert_eq!(back.live_count(), index.live_count());
+        assert_same_hits(&index, &back, &vs, 6);
+    }
+
+    fn hnsw_round_trip_bit_identical(
+        n in 0..30usize,
+        dim in 1..10usize,
+        seed in 0..100_000u64,
+        metric_pick in 0..2usize,
+    ) {
+        let metric = [Metric::Euclidean, Metric::Cosine][metric_pick];
+        let config = HnswConfig { metric, ..HnswConfig::default() };
+        let vs = vectors(n, dim, seed);
+        let mut index = HnswIndex::build(&vs, config);
+        if n > 2 {
+            index.delete_row(n / 2);
+        }
+        let back = HnswIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(index.adjacency(), back.adjacency());
+        assert_same_hits(&index, &back, &vs, 5);
+    }
+
+    fn lsh_round_trip_bit_identical(
+        n in 0..30usize,
+        dim in 1..10usize,
+        seed in 0..100_000u64,
+        metric_pick in 0..2usize,
+    ) {
+        let metric = [Metric::Euclidean, Metric::Cosine][metric_pick];
+        let config = LshConfig { metric, ..LshConfig::default() };
+        let vs = vectors(n, dim, seed);
+        let mut index = HyperplaneLsh::build(&vs, config);
+        if n > 2 {
+            index.delete_row(0);
+        }
+        let back = HyperplaneLsh::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(index.signatures(), back.signatures());
+        assert_same_hits(&index, &back, &vs, 5);
+    }
+
+    /// Every truncation of a valid file fails with a typed Corrupt error —
+    /// the loader never panics and never fabricates a partial index.
+    fn truncated_files_fail_typed(cut_frac in 0.0f64..1.0) {
+        let vs = vectors(12, 4, 99);
+        let files = [
+            ExactIndex::build(&vs).to_bytes(),
+            HnswIndex::build(&vs, HnswConfig::default()).to_bytes(),
+            HyperplaneLsh::build(&vs, LshConfig::default()).to_bytes(),
+        ];
+        for bytes in &files {
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            if cut >= bytes.len() {
+                continue;
+            }
+            let short = &bytes[..cut];
+            assert!(matches!(ExactIndex::from_bytes(short), Err(ErError::Corrupt(_))));
+            assert!(matches!(HnswIndex::from_bytes(short), Err(ErError::Corrupt(_))));
+            assert!(matches!(HyperplaneLsh::from_bytes(short), Err(ErError::Corrupt(_))));
+        }
+    }
+
+    /// A single flipped bit anywhere — header or payload — is caught.
+    fn flipped_bit_fails_typed(pos_frac in 0.0f64..1.0, bit in 0..8u32) {
+        let vs = vectors(10, 4, 7);
+        let mut bytes = HnswIndex::build(&vs, HnswConfig::default()).to_bytes();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        assert!(matches!(HnswIndex::from_bytes(&bytes), Err(ErError::Corrupt(_))));
+    }
+}
+
+#[test]
+fn save_and_load_round_trip_through_the_filesystem() {
+    let dir = std::env::temp_dir().join("er_index_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let vs = vectors(20, 6, 31);
+    let queries = vectors(5, 6, 32);
+
+    let exact = ExactIndex::with_metric(&vs, Metric::Cosine);
+    let path = dir.join("exact.erbf");
+    exact.save(&path).unwrap();
+    assert_same_hits(&exact, &ExactIndex::load(&path).unwrap(), &queries, 5);
+
+    let hnsw = HnswIndex::build(&vs, HnswConfig::default());
+    let path = dir.join("hnsw.erbf");
+    hnsw.save(&path).unwrap();
+    assert_same_hits(&hnsw, &HnswIndex::load(&path).unwrap(), &queries, 5);
+
+    let lsh = HyperplaneLsh::build(&vs, LshConfig::default());
+    let path = dir.join("lsh.erbf");
+    lsh.save(&path).unwrap();
+    assert_same_hits(&lsh, &HyperplaneLsh::load(&path).unwrap(), &queries, 5);
+
+    // Loading a missing file is an Io error, not a panic or Corrupt.
+    assert!(matches!(
+        ExactIndex::load(dir.join("absent.erbf")),
+        Err(ErError::Io(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_headers_fail_typed() {
+    let vs = vectors(8, 4, 33);
+    let good = ExactIndex::build(&vs).to_bytes();
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        ExactIndex::from_bytes(&bad),
+        Err(ErError::Corrupt(_))
+    ));
+    // Future version.
+    let mut bad = good.clone();
+    bad[4] = 0xFF;
+    assert!(matches!(
+        ExactIndex::from_bytes(&bad),
+        Err(ErError::Corrupt(_))
+    ));
+    // Lying payload length.
+    let mut bad = good.clone();
+    bad[12] ^= 0x01;
+    assert!(matches!(
+        ExactIndex::from_bytes(&bad),
+        Err(ErError::Corrupt(_))
+    ));
+    // Wrong kind: an exact file refused by the other two loaders.
+    assert!(matches!(
+        HnswIndex::from_bytes(&good),
+        Err(ErError::Corrupt(_))
+    ));
+    assert!(matches!(
+        HyperplaneLsh::from_bytes(&good),
+        Err(ErError::Corrupt(_))
+    ));
+    // Empty and header-only files.
+    assert!(matches!(
+        ExactIndex::from_bytes(&[]),
+        Err(ErError::Corrupt(_))
+    ));
+    assert!(matches!(
+        ExactIndex::from_bytes(&good[..28]),
+        Err(ErError::Corrupt(_))
+    ));
+}
+
+/// Serialization itself is byte-deterministic: the same index serializes
+/// to the same bytes across independent builds.
+#[test]
+fn serialization_is_byte_deterministic() {
+    let vs = vectors(15, 5, 34);
+    assert_eq!(
+        HnswIndex::build(&vs, HnswConfig::default()).to_bytes(),
+        HnswIndex::build(&vs, HnswConfig::default()).to_bytes()
+    );
+    assert_eq!(
+        HyperplaneLsh::build(&vs, LshConfig::default()).to_bytes(),
+        HyperplaneLsh::build(&vs, LshConfig::default()).to_bytes()
+    );
+    assert_eq!(
+        ExactIndex::build(&vs).to_bytes(),
+        ExactIndex::build(&vs).to_bytes()
+    );
+}

@@ -1,0 +1,53 @@
+//! er-serve — entity resolution as a long-running service (ROADMAP open
+//! item 3: the serving arc of the north-star production system).
+//!
+//! Every other crate in the workspace runs the paper's *batch*
+//! experiments: embed a frozen collection, build an index once, block,
+//! match. This crate turns the same machinery into a service that
+//! survives records arriving, changing and disappearing while queries
+//! run:
+//!
+//! * [`Resolver`] — the service type: streaming [`Resolver::insert`] /
+//!   [`Resolver::upsert`] / [`Resolver::delete`] of [`er_core::Entity`]
+//!   records, with top-k queries legal at any point between mutations.
+//!   Embedding runs through the same `LanguageModel` + serialization mode
+//!   the batch pipeline uses, so a record embeds bit-identically on both
+//!   paths.
+//! * [`ShardedIndex`] — the vector-level half: N hash-routed shards
+//!   (FNV-1a over the entity id) of any `er_index` backend, queried
+//!   scatter-gather with a `BinaryHeap` k-way merge that preserves the
+//!   `(distance, id)` total order. An N-shard exact search is
+//!   bit-identical to a single exact index over the same records.
+//! * Persistence — [`Resolver::save`] / [`Resolver::load`] write one
+//!   checksummed `er_core::binary` container embedding each shard's own
+//!   index container, so a service restarts without re-embedding or
+//!   re-building graphs.
+//!
+//! Incremental index mutation itself (HNSW streaming insertion that is
+//! bit-identical to batch construction, tombstone-masked search) lives in
+//! `er_index::MutableIndex`; this crate composes it with routing,
+//! merging, and the entity/embedding layer.
+
+pub mod resolver;
+pub mod shard;
+
+pub use resolver::{Resolver, ServeConfig};
+pub use shard::{AnyIndex, ShardedIndex};
+
+use er_core::EntityId;
+
+/// One query hit: a live record's id and its distance from the query
+/// under the backend's metric (lower is closer). The service-level twin
+/// of `er_index::Neighbor`, which carries a row position instead — a
+/// sharded service has no global row space, so hits are keyed by id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    pub id: EntityId,
+    pub distance: f32,
+}
+
+impl Hit {
+    pub fn new(id: EntityId, distance: f32) -> Hit {
+        Hit { id, distance }
+    }
+}

@@ -1,0 +1,253 @@
+//! The [`Resolver`]: entity resolution as a long-running service.
+//!
+//! A `Resolver` owns a [`ShardedIndex`] and a reference to one language
+//! model + serialization mode (the same pair `embeddings4er::Pipeline`
+//! vectorizes with, so an entity embeds bit-identically whether it flows
+//! through the batch pipeline or the streaming service). Mutations —
+//! [`Resolver::insert`], [`Resolver::upsert`], [`Resolver::delete`] — are
+//! legal at any point; queries between mutations always see exactly the
+//! currently-live records.
+//!
+//! Persistence: [`Resolver::save`] writes one `kind::RESOLVER` ERBF
+//! container holding the serving metadata plus every shard's id history
+//! and the shard's own nested index container. [`Resolver::load`] needs
+//! the model back (models are persisted separately by the zoo cache) and
+//! verifies its dimension against the saved one.
+
+use crate::shard::{AnyIndex, Shard, ShardedIndex};
+use crate::Hit;
+use er_blocking::BlockerBackend;
+use er_core::binary::{self, kind, BinReader, BinWriter};
+use er_core::{Embedding, Entity, EntityId, ErError, Result, SerializationMode};
+use er_embed::LanguageModel;
+use std::path::Path;
+
+mod tag {
+    pub const META: u32 = 1;
+    pub const SHARDS: u32 = 2;
+}
+
+/// How a [`Resolver`] is laid out: shard count and index backend.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of hash shards (each an independent index).
+    pub shards: usize,
+    /// Index backend every shard runs; all shards share the config —
+    /// including the seed, which is safe because shards hold disjoint
+    /// records.
+    pub backend: BlockerBackend,
+}
+
+impl ServeConfig {
+    /// Start from the defaults (4 shards, HNSW/cosine — the blocker's
+    /// default backend).
+    pub fn new() -> ServeConfig {
+        ServeConfig::default()
+    }
+
+    pub fn shards(mut self, shards: usize) -> ServeConfig {
+        self.shards = shards;
+        self
+    }
+
+    pub fn backend(mut self, backend: BlockerBackend) -> ServeConfig {
+        self.backend = backend;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            backend: BlockerBackend::default(),
+        }
+    }
+}
+
+fn mode_to_writer(w: &mut BinWriter, mode: &SerializationMode) {
+    match mode {
+        SerializationMode::SchemaAgnostic => w.put_u8(0),
+        SerializationMode::SchemaBased(attr) => {
+            w.put_u8(1);
+            w.put_str(attr);
+        }
+    }
+}
+
+fn mode_from_reader(r: &mut BinReader) -> Result<SerializationMode> {
+    match r.get_u8()? {
+        0 => Ok(SerializationMode::SchemaAgnostic),
+        1 => Ok(SerializationMode::SchemaBased(r.get_str()?)),
+        other => Err(ErError::Corrupt(format!(
+            "unknown serialization mode code {other}"
+        ))),
+    }
+}
+
+/// A streaming entity-resolution service over hash-sharded indices.
+pub struct Resolver<'m> {
+    model: &'m dyn LanguageModel,
+    mode: SerializationMode,
+    index: ShardedIndex,
+}
+
+impl<'m> Resolver<'m> {
+    /// An empty resolver: `config.shards` empty indices sized to the
+    /// model's embedding dimension.
+    pub fn new(
+        model: &'m dyn LanguageModel,
+        mode: SerializationMode,
+        config: ServeConfig,
+    ) -> Resolver<'m> {
+        Resolver {
+            model,
+            mode,
+            index: ShardedIndex::new(model.dim(), config.shards, config.backend),
+        }
+    }
+
+    /// Embed an entity exactly as the batch pipeline would: serialize
+    /// under the resolver's mode, then run the model.
+    pub fn embed(&self, entity: &Entity) -> Embedding {
+        self.model.embed(&entity.serialize(&self.mode))
+    }
+
+    /// Insert a new record. `Ok(false)` (nothing stored) if the entity's
+    /// id is already live — use [`Resolver::upsert`] to replace.
+    pub fn insert(&mut self, entity: &Entity) -> Result<bool> {
+        // Skip the embedding work when the id is already live.
+        if self.index.contains(entity.id) {
+            return Ok(false);
+        }
+        let embedding = self.embed(entity);
+        self.index.insert(entity.id, embedding.as_slice())
+    }
+
+    /// Insert, replacing any live record with the same id. Returns
+    /// whether a record was replaced.
+    pub fn upsert(&mut self, entity: &Entity) -> Result<bool> {
+        let embedding = self.embed(entity);
+        self.index.upsert(entity.id, embedding.as_slice())
+    }
+
+    /// Tombstone a record. Returns `false` when the id is not live.
+    pub fn delete(&mut self, id: EntityId) -> bool {
+        self.index.delete(id)
+    }
+
+    /// The `k` nearest live records to `entity` (which need not be
+    /// stored): embed, scatter across shards, gather-merge.
+    pub fn query(&self, entity: &Entity, k: usize) -> Vec<Hit> {
+        self.query_embedding(&self.embed(entity), k)
+    }
+
+    /// Query with a raw sentence (embedded under the resolver's model).
+    pub fn query_text(&self, text: &str, k: usize) -> Vec<Hit> {
+        self.query_embedding(&self.model.embed(text), k)
+    }
+
+    /// Query with a precomputed embedding.
+    pub fn query_embedding(&self, embedding: &Embedding, k: usize) -> Vec<Hit> {
+        self.index.search_ids(embedding.as_slice(), k)
+    }
+
+    /// Live records across all shards.
+    pub fn len(&self) -> usize {
+        self.index.shard_sizes().iter().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` is currently live.
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.index.contains(id)
+    }
+
+    /// The underlying sharded index (vector-level API, shard statistics).
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    pub fn mode(&self) -> &SerializationMode {
+        &self.mode
+    }
+
+    /// Serialize into one `kind::RESOLVER` container: serving metadata +
+    /// every shard's id history and nested index container. The bytes are
+    /// deterministic for a given mutation history.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = BinWriter::new();
+        meta.put_usize(self.index.dim());
+        meta.put_usize(self.index.shard_count());
+        mode_to_writer(&mut meta, &self.mode);
+        let mut shards = BinWriter::new();
+        for shard in self.index.shards() {
+            let ids: Vec<u32> = shard.ids.iter().map(|id| id.0).collect();
+            shards.put_u32_slice(&ids);
+            shards.put_bytes(&shard.index.to_bytes());
+        }
+        binary::write_container(
+            kind::RESOLVER,
+            &[
+                (tag::META, meta.into_bytes()),
+                (tag::SHARDS, shards.into_bytes()),
+            ],
+        )
+    }
+
+    /// Write [`Resolver::to_bytes`] to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        Ok(std::fs::write(path, self.to_bytes())?)
+    }
+
+    /// Inverse of [`Resolver::to_bytes`]. The model is not part of the
+    /// bytes (the zoo cache persists models); it must match the saved
+    /// embedding dimension.
+    pub fn from_bytes(bytes: &[u8], model: &'m dyn LanguageModel) -> Result<Resolver<'m>> {
+        let sections = binary::read_container(bytes, kind::RESOLVER)?;
+        let mut meta = BinReader::new(binary::section(&sections, tag::META, "meta")?);
+        let dim = meta.get_usize()?;
+        let shard_count = meta.get_usize()?;
+        let mode = mode_from_reader(&mut meta)?;
+        if shard_count == 0 {
+            return Err(ErError::Corrupt("resolver with zero shards".into()));
+        }
+        if model.dim() != dim {
+            return Err(ErError::Model(format!(
+                "resolver was saved over {dim}-d embeddings, model {} emits {}-d",
+                model.code(),
+                model.dim()
+            )));
+        }
+        let mut shards_reader = BinReader::new(binary::section(&sections, tag::SHARDS, "shards")?);
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let ids: Vec<EntityId> = shards_reader
+                .get_u32_vec()?
+                .into_iter()
+                .map(EntityId)
+                .collect();
+            let index = AnyIndex::from_bytes(shards_reader.get_bytes()?)?;
+            shards.push(Shard::from_parts(index, ids)?);
+        }
+        if shards_reader.remaining() != 0 {
+            return Err(ErError::Corrupt(format!(
+                "{} trailing bytes after the last shard",
+                shards_reader.remaining()
+            )));
+        }
+        Ok(Resolver {
+            model,
+            mode,
+            index: ShardedIndex::from_shards(shards, dim)?,
+        })
+    }
+
+    /// Load from a file written by [`Resolver::save`].
+    pub fn load(path: impl AsRef<Path>, model: &'m dyn LanguageModel) -> Result<Resolver<'m>> {
+        Resolver::from_bytes(&std::fs::read(path)?, model)
+    }
+}

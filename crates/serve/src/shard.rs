@@ -1,0 +1,441 @@
+//! Hash-sharded vector storage with scatter-gather top-k queries.
+//!
+//! [`ShardedIndex`] fronts N independent [`er_index::MutableIndex`]
+//! backends. Records are routed to a shard by an FNV-1a hash of their
+//! [`EntityId`] (stable across runs and across save/load), every shard
+//! answers a query independently — fanned out over scoped threads, the
+//! same pool discipline as `NnIndex::search_batch` — and the per-shard
+//! top-k lists are combined by a `BinaryHeap` k-way merge.
+//!
+//! **Merge contract**: hits are globally ordered by
+//! `(distance.total_cmp, EntityId)`. Each shard's list is put into that
+//! order before merging (per-shard backends tie-break on *row* position,
+//! which need not agree with id order), so an N-shard exact search returns
+//! the bit-identical hit list a single exact index over the same records
+//! would — sharding never changes exact results, only distributes them
+//! (pinned by the equivalence suite).
+
+use crate::Hit;
+use er_blocking::BlockerBackend;
+use er_core::binary::{self, fnv1a64, kind};
+use er_core::{EmbeddingMatrix, EntityId, ErError, Result};
+use er_index::{
+    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex, Neighbor,
+    NnIndex,
+};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+
+/// One owned index of any backend — the per-shard storage. All three
+/// variants share the [`MutableIndex`] mutation surface and the binary
+/// persistence format of `er_index::persist`.
+#[derive(Debug, Clone)]
+pub enum AnyIndex {
+    Exact(ExactIndex<'static>),
+    Hnsw(HnswIndex<'static>),
+    Lsh(HyperplaneLsh<'static>),
+}
+
+impl AnyIndex {
+    /// An empty index of the given backend over `dim`-component vectors.
+    ///
+    /// Every shard is built from the same backend config — including the
+    /// seed, which is safe because shards hold disjoint records, so no
+    /// cross-shard draw ever compares two streams.
+    pub fn empty(backend: &BlockerBackend, dim: usize) -> AnyIndex {
+        let matrix = EmbeddingMatrix::new(dim);
+        match backend {
+            BlockerBackend::Exact(metric) => {
+                AnyIndex::Exact(ExactIndex::from_source(matrix, *metric))
+            }
+            BlockerBackend::Hnsw(config) => {
+                AnyIndex::Hnsw(HnswIndex::from_source(matrix, config.clone()))
+            }
+            BlockerBackend::Lsh(config) => {
+                AnyIndex::Lsh(HyperplaneLsh::from_source(matrix, config.clone()))
+            }
+        }
+    }
+
+    /// The backend config this index was built with — how a loaded shard
+    /// reconstitutes the `ShardedIndex`-level [`BlockerBackend`].
+    pub fn backend(&self) -> BlockerBackend {
+        match self {
+            AnyIndex::Exact(i) => BlockerBackend::Exact(i.metric()),
+            AnyIndex::Hnsw(i) => BlockerBackend::Hnsw(i.config().clone()),
+            AnyIndex::Lsh(i) => BlockerBackend::Lsh(i.config().clone()),
+        }
+    }
+
+    /// Serialize via the backend's own `er_index::persist` container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            AnyIndex::Exact(i) => i.to_bytes(),
+            AnyIndex::Hnsw(i) => i.to_bytes(),
+            AnyIndex::Lsh(i) => i.to_bytes(),
+        }
+    }
+
+    /// Dispatch on the container's `kind` header to the right loader.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AnyIndex> {
+        match binary::peek_kind(bytes)? {
+            kind::EXACT_INDEX => Ok(AnyIndex::Exact(ExactIndex::from_bytes(bytes)?)),
+            kind::HNSW_INDEX => Ok(AnyIndex::Hnsw(HnswIndex::from_bytes(bytes)?)),
+            kind::LSH_INDEX => Ok(AnyIndex::Lsh(HyperplaneLsh::from_bytes(bytes)?)),
+            other => Err(ErError::Corrupt(format!(
+                "shard container holds kind {other}, expected an index kind"
+            ))),
+        }
+    }
+}
+
+impl NnIndex for AnyIndex {
+    fn len(&self) -> usize {
+        match self {
+            AnyIndex::Exact(i) => i.len(),
+            AnyIndex::Hnsw(i) => i.len(),
+            AnyIndex::Lsh(i) => i.len(),
+        }
+    }
+
+    fn metric(&self) -> Metric {
+        match self {
+            AnyIndex::Exact(i) => i.metric(),
+            AnyIndex::Hnsw(i) => i.metric(),
+            AnyIndex::Lsh(i) => i.metric(),
+        }
+    }
+
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        match self {
+            AnyIndex::Exact(i) => i.search_slice(query, k),
+            AnyIndex::Hnsw(i) => i.search_slice(query, k),
+            AnyIndex::Lsh(i) => i.search_slice(query, k),
+        }
+    }
+}
+
+impl MutableIndex for AnyIndex {
+    fn insert_row(&mut self, row: &[f32]) -> Result<usize> {
+        match self {
+            AnyIndex::Exact(i) => i.insert_row(row),
+            AnyIndex::Hnsw(i) => i.insert_row(row),
+            AnyIndex::Lsh(i) => i.insert_row(row),
+        }
+    }
+
+    fn delete_row(&mut self, index: usize) -> bool {
+        match self {
+            AnyIndex::Exact(i) => i.delete_row(index),
+            AnyIndex::Hnsw(i) => i.delete_row(index),
+            AnyIndex::Lsh(i) => i.delete_row(index),
+        }
+    }
+
+    fn is_deleted(&self, index: usize) -> bool {
+        match self {
+            AnyIndex::Exact(i) => i.is_deleted(index),
+            AnyIndex::Hnsw(i) => i.is_deleted(index),
+            AnyIndex::Lsh(i) => i.is_deleted(index),
+        }
+    }
+
+    fn live_count(&self) -> usize {
+        match self {
+            AnyIndex::Exact(i) => i.live_count(),
+            AnyIndex::Hnsw(i) => i.live_count(),
+            AnyIndex::Lsh(i) => i.live_count(),
+        }
+    }
+}
+
+/// One shard: an index plus the id ↔ row bookkeeping. Rows are append-only
+/// (tombstones, never compaction), so `ids[row]` is the full insertion
+/// history and `rows` maps only the currently-live ids.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    pub(crate) index: AnyIndex,
+    /// Row → the entity id inserted at that row (including tombstoned rows).
+    pub(crate) ids: Vec<EntityId>,
+    /// Live entity id → its row.
+    pub(crate) rows: HashMap<EntityId, usize>,
+}
+
+impl Shard {
+    fn new(backend: &BlockerBackend, dim: usize) -> Shard {
+        Shard {
+            index: AnyIndex::empty(backend, dim),
+            ids: Vec::new(),
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Rebuild the live-id map from the insertion history + tombstones —
+    /// the load path. Fails if the history disagrees with the index (two
+    /// live rows claiming one id, or a row count mismatch).
+    pub(crate) fn from_parts(index: AnyIndex, ids: Vec<EntityId>) -> Result<Shard> {
+        if ids.len() != index.len() {
+            return Err(ErError::Corrupt(format!(
+                "shard id history covers {} rows, index stores {}",
+                ids.len(),
+                index.len()
+            )));
+        }
+        let mut rows = HashMap::new();
+        for (row, &id) in ids.iter().enumerate() {
+            if !index.is_deleted(row) && rows.insert(id, row).is_some() {
+                return Err(ErError::Corrupt(format!(
+                    "shard holds two live rows for entity id {}",
+                    id.0
+                )));
+            }
+        }
+        Ok(Shard { index, ids, rows })
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self
+            .index
+            .search_slice(query, k)
+            .into_iter()
+            .map(|n| Hit {
+                id: self.ids[n.index],
+                distance: n.distance,
+            })
+            .collect();
+        // Re-order by (distance, id): backends tie-break equal distances
+        // on row position, which need not agree with id order — the merge
+        // contract requires id order.
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.id.0.cmp(&b.id.0))
+        });
+        hits
+    }
+}
+
+/// An entry in the k-way merge heap: the current head of one shard's
+/// sorted hit list, ordered by the global `(distance, id)` contract.
+struct MergeHead {
+    hit: Hit,
+    shard: usize,
+    pos: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for MergeHead {}
+
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.hit
+            .distance
+            .total_cmp(&other.hit.distance)
+            .then_with(|| self.hit.id.0.cmp(&other.hit.id.0))
+    }
+}
+
+/// N hash-routed shards behind one `NnIndex`-shaped query surface.
+///
+/// The vector-level half of the `er-serve` Resolver: callers hand it
+/// `(EntityId, row)` pairs; embedding happens a layer up.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    backend: BlockerBackend,
+    dim: usize,
+}
+
+impl ShardedIndex {
+    /// `shards` empty indices of the given backend over `dim`-component
+    /// vectors.
+    pub fn new(dim: usize, shards: usize, backend: BlockerBackend) -> ShardedIndex {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedIndex {
+            shards: (0..shards).map(|_| Shard::new(&backend, dim)).collect(),
+            backend,
+            dim,
+        }
+    }
+
+    pub(crate) fn from_shards(shards: Vec<Shard>, dim: usize) -> Result<ShardedIndex> {
+        let backend = shards
+            .first()
+            .map(|s| s.index.backend())
+            .ok_or_else(|| ErError::Corrupt("sharded index with zero shards".into()))?;
+        Ok(ShardedIndex {
+            shards,
+            backend,
+            dim,
+        })
+    }
+
+    /// Which shard an id lives on: FNV-1a over the id's little-endian
+    /// bytes, mod shard count. Pure and stable — the routing survives
+    /// save/load and is the same on every machine.
+    pub fn shard_of(&self, id: EntityId) -> usize {
+        (fnv1a64(&id.0.to_le_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live rows per shard (the observability hook the bench reports).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.index.live_count()).collect()
+    }
+
+    pub fn backend(&self) -> &BlockerBackend {
+        &self.backend
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether `id` is currently live.
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.shards[self.shard_of(id)].rows.contains_key(&id)
+    }
+
+    /// Insert a new record. Returns `Ok(false)` (and stores nothing) if
+    /// the id is already live — use [`ShardedIndex::upsert`] to replace.
+    pub fn insert(&mut self, id: EntityId, row: &[f32]) -> Result<bool> {
+        let shard_idx = self.shard_of(id);
+        let shard = &mut self.shards[shard_idx];
+        if shard.rows.contains_key(&id) {
+            return Ok(false);
+        }
+        let row_idx = shard.index.insert_row(row)?;
+        debug_assert_eq!(row_idx, shard.ids.len());
+        shard.ids.push(id);
+        shard.rows.insert(id, row_idx);
+        Ok(true)
+    }
+
+    /// Insert, replacing any live record with the same id (the old row is
+    /// tombstoned first). Returns whether a record was replaced.
+    pub fn upsert(&mut self, id: EntityId, row: &[f32]) -> Result<bool> {
+        let shard_idx = self.shard_of(id);
+        let shard = &mut self.shards[shard_idx];
+        let replaced = match shard.rows.get(&id) {
+            Some(&old_row) => {
+                shard.index.delete_row(old_row);
+                shard.rows.remove(&id);
+                true
+            }
+            None => false,
+        };
+        let row_idx = shard.index.insert_row(row)?;
+        shard.ids.push(id);
+        shard.rows.insert(id, row_idx);
+        Ok(replaced)
+    }
+
+    /// Tombstone a record. Returns `false` when the id is not live.
+    pub fn delete(&mut self, id: EntityId) -> bool {
+        let shard_idx = self.shard_of(id);
+        let shard = &mut self.shards[shard_idx];
+        match shard.rows.remove(&id) {
+            Some(row) => shard.index.delete_row(row),
+            None => false,
+        }
+    }
+
+    /// Scatter-gather top-k: fan the query out across all shards on
+    /// scoped threads (one per shard, mirroring `search_batch`), then
+    /// k-way merge the per-shard sorted lists with a `BinaryHeap` that
+    /// preserves the `(distance, id)` total order.
+    pub fn search_ids(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let per_shard: Vec<Vec<Hit>> = if self.shards.len() == 1 {
+            vec![self.shards[0].search(query, k)]
+        } else {
+            let mut out = Vec::with_capacity(self.shards.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || shard.search(query, k)))
+                    .collect();
+                for handle in handles {
+                    out.push(handle.join().expect("shard search worker panicked"));
+                }
+            });
+            out
+        };
+        let mut heap: BinaryHeap<Reverse<MergeHead>> = BinaryHeap::with_capacity(per_shard.len());
+        for (shard, hits) in per_shard.iter().enumerate() {
+            if let Some(&hit) = hits.first() {
+                heap.push(Reverse(MergeHead { hit, shard, pos: 0 }));
+            }
+        }
+        let mut merged = Vec::with_capacity(k);
+        while merged.len() < k {
+            let Some(Reverse(head)) = heap.pop() else {
+                break;
+            };
+            merged.push(head.hit);
+            let next_pos = head.pos + 1;
+            if let Some(&hit) = per_shard[head.shard].get(next_pos) {
+                heap.push(Reverse(MergeHead {
+                    hit,
+                    shard: head.shard,
+                    pos: next_pos,
+                }));
+            }
+        }
+        merged
+    }
+
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+}
+
+/// The `NnIndex`-shaped query surface: `Neighbor.index` carries the
+/// **entity id** (`EntityId.0 as usize`), not a row position — sharding
+/// has no global row space. `len()` counts live records.
+impl NnIndex for ShardedIndex {
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.live_count()).sum()
+    }
+
+    fn metric(&self) -> Metric {
+        self.backend.metric()
+    }
+
+    fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_ids(query, k)
+            .into_iter()
+            .map(|h| Neighbor::new(h.id.0 as usize, h.distance))
+            .collect()
+    }
+}
+
+/// Convenience constructors for the three stock backends.
+pub fn exact_backend(metric: Metric) -> BlockerBackend {
+    BlockerBackend::Exact(metric)
+}
+
+pub fn hnsw_backend(config: HnswConfig) -> BlockerBackend {
+    BlockerBackend::Hnsw(config)
+}
+
+pub fn lsh_backend(config: LshConfig) -> BlockerBackend {
+    BlockerBackend::Lsh(config)
+}

@@ -1,0 +1,327 @@
+//! Service-level contract of the `er-serve` Resolver: streaming
+//! mutations with queries legal in between, shard/merge equivalence, and
+//! whole-service persistence.
+
+use er_blocking::BlockerBackend;
+use er_core::{Embedding, Entity, EntityId, ErError, SerializationMode};
+use er_embed::{LanguageModel, ModelCode};
+use er_index::{ExactIndex, HnswConfig, LshConfig, Metric, NnIndex};
+use er_serve::{Resolver, ServeConfig, ShardedIndex};
+use rand::Rng;
+use std::time::Duration;
+
+/// A deterministic toy model: hashes character trigrams into a fixed-dim
+/// vector. Cheap enough for service tests, faithful enough that similar
+/// strings land near each other.
+struct TrigramModel {
+    dim: usize,
+}
+
+impl LanguageModel for TrigramModel {
+    fn code(&self) -> ModelCode {
+        ModelCode::FT
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn init_time(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    fn embed(&self, text: &str) -> Embedding {
+        let mut v = vec![0.0f32; self.dim];
+        let chars: Vec<char> = text.chars().collect();
+        for w in chars.windows(3) {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &c in w {
+                h ^= c as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            v[(h % self.dim as u64) as usize] += if h & 1 == 0 { 1.0 } else { -1.0 };
+        }
+        Embedding(v)
+    }
+}
+
+fn entity(id: u32, name: &str) -> Entity {
+    Entity::new(EntityId(id), vec![("name".into(), name.into())])
+}
+
+fn random_rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut r = er_core::rng::rng(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| r.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+#[test]
+fn streaming_insert_then_query_finds_the_record() {
+    let model = TrigramModel { dim: 24 };
+    let mut resolver = Resolver::new(
+        &model,
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new(),
+    );
+    assert!(resolver.is_empty());
+    assert!(resolver.query_text("anything", 5).is_empty());
+
+    for (id, name) in [
+        (1, "golden palace hotel athens"),
+        (2, "hotel golden palace, athens"),
+        (3, "blue lagoon resort crete"),
+    ] {
+        assert!(resolver.insert(&entity(id, name)).unwrap());
+    }
+    assert_eq!(resolver.len(), 3);
+    // Re-inserting a live id is a no-op, not a replace.
+    assert!(!resolver.insert(&entity(1, "something else")).unwrap());
+    assert_eq!(resolver.len(), 3);
+
+    let hits = resolver.query(&entity(99, "golden palace hotel athens"), 2);
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0].id, EntityId(1), "exact text matches itself first");
+    assert!(hits[0].distance <= hits[1].distance);
+    assert_eq!(hits[1].id, EntityId(2), "near-duplicate ranks second");
+}
+
+#[test]
+fn delete_and_upsert_between_queries() {
+    let model = TrigramModel { dim: 24 };
+    let mut resolver = Resolver::new(
+        &model,
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new().shards(3),
+    );
+    for id in 0..20u32 {
+        resolver
+            .insert(&entity(id, &format!("record number {id}")))
+            .unwrap();
+    }
+    assert_eq!(resolver.len(), 20);
+    assert!(resolver.contains(EntityId(7)));
+
+    // Delete: the id disappears from results immediately.
+    assert!(resolver.delete(EntityId(7)));
+    assert!(!resolver.delete(EntityId(7)), "double delete is a no-op");
+    assert!(!resolver.contains(EntityId(7)));
+    assert_eq!(resolver.len(), 19);
+    let hits = resolver.query(&entity(99, "record number 7"), 19);
+    assert!(hits.iter().all(|h| h.id != EntityId(7)));
+    assert_eq!(hits.len(), 19);
+
+    // Upsert: replaces in place; the old vector stops matching.
+    assert!(resolver
+        .upsert(&entity(3, "completely different text"))
+        .unwrap());
+    assert_eq!(resolver.len(), 19);
+    let hits = resolver.query(&entity(99, "completely different text"), 1);
+    assert_eq!(hits[0].id, EntityId(3));
+    // Upsert of a fresh id inserts.
+    assert!(!resolver.upsert(&entity(7, "record number 7")).unwrap());
+    assert_eq!(resolver.len(), 20);
+
+    // k > live count truncates; k = 0 is empty.
+    assert_eq!(resolver.query_text("record", 500).len(), 20);
+    assert!(resolver.query_text("record", 0).is_empty());
+}
+
+/// The shard/merge contract at the vector level: an N-shard exact search
+/// returns the bit-identical hit list of one exact index over the same
+/// rows, for both metrics, regardless of shard count.
+#[test]
+fn scatter_gather_exact_is_bit_identical_to_single_index() {
+    let dim = 8;
+    let rows = random_rows(60, dim, 41);
+    let queries = random_rows(10, dim, 42);
+    for metric in [Metric::Euclidean, Metric::Cosine] {
+        // Ids 0..n inserted in order: the oracle's row index == the id.
+        let mut oracle_matrix = er_core::EmbeddingMatrix::new(dim);
+        for row in &rows {
+            oracle_matrix.push(row);
+        }
+        let oracle = ExactIndex::from_source(oracle_matrix, metric);
+        for shards in [1usize, 2, 5] {
+            let mut sharded = ShardedIndex::new(dim, shards, BlockerBackend::Exact(metric));
+            for (i, row) in rows.iter().enumerate() {
+                assert!(sharded.insert(EntityId(i as u32), row).unwrap());
+            }
+            assert_eq!(sharded.len(), rows.len());
+            for q in &queries {
+                let expect = oracle.search_slice(q, 7);
+                let got = sharded.search_ids(q, 7);
+                assert_eq!(got.len(), expect.len());
+                for (g, e) in got.iter().zip(&expect) {
+                    assert_eq!(g.id.0 as usize, e.index, "{shards} shards, {metric:?}");
+                    assert_eq!(g.distance.to_bits(), e.distance.to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharding_routes_deterministically_and_covers_all_shards() {
+    let sharded = ShardedIndex::new(4, 5, BlockerBackend::Exact(Metric::Euclidean));
+    let mut seen = [false; 5];
+    for id in 0..200u32 {
+        let s = sharded.shard_of(EntityId(id));
+        assert!(s < 5);
+        assert_eq!(s, sharded.shard_of(EntityId(id)), "routing is pure");
+        seen[s] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "200 ids should touch every shard");
+}
+
+#[test]
+fn resolver_round_trips_through_bytes_and_files() {
+    let model = TrigramModel { dim: 24 };
+    for backend in [
+        BlockerBackend::Exact(Metric::Cosine),
+        BlockerBackend::Hnsw(HnswConfig {
+            metric: Metric::Cosine,
+            ..HnswConfig::default()
+        }),
+        BlockerBackend::Lsh(LshConfig::default()),
+    ] {
+        let mut resolver = Resolver::new(
+            &model,
+            SerializationMode::SchemaAgnostic,
+            ServeConfig::new().shards(3).backend(backend),
+        );
+        for id in 0..30u32 {
+            resolver
+                .insert(&entity(id, &format!("streamed record {id}")))
+                .unwrap();
+        }
+        resolver.delete(EntityId(4));
+        resolver
+            .upsert(&entity(11, "revised record eleven"))
+            .unwrap();
+
+        let bytes = resolver.to_bytes();
+        let back = Resolver::from_bytes(&bytes, &model).unwrap();
+        assert_eq!(back.len(), resolver.len());
+        assert_eq!(back.mode(), resolver.mode());
+        for probe in [
+            "streamed record 17",
+            "revised record eleven",
+            "nothing alike",
+        ] {
+            let a = resolver.query_text(probe, 8);
+            let b = back.query_text(probe, 8);
+            assert_eq!(a, b, "loaded resolver answers bit-identically");
+        }
+        // Serialization is deterministic, and mutation streams continue
+        // identically on both sides of a round trip.
+        assert_eq!(bytes, back.to_bytes());
+        let mut back = back;
+        resolver.insert(&entity(77, "post-reload insert")).unwrap();
+        back.insert(&entity(77, "post-reload insert")).unwrap();
+        assert_eq!(resolver.to_bytes(), back.to_bytes());
+    }
+
+    // File round trip.
+    let dir = std::env::temp_dir().join("er_serve_service_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resolver.erbf");
+    let mut resolver = Resolver::new(
+        &model,
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new(),
+    );
+    resolver.insert(&entity(1, "only record")).unwrap();
+    resolver.save(&path).unwrap();
+    let back = Resolver::load(&path, &model).unwrap();
+    assert_eq!(
+        back.query_text("only record", 1),
+        resolver.query_text("only record", 1)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loading_rejects_wrong_models_and_corrupt_bytes() {
+    let model = TrigramModel { dim: 24 };
+    let mut resolver = Resolver::new(
+        &model,
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new(),
+    );
+    resolver.insert(&entity(1, "a record")).unwrap();
+    let bytes = resolver.to_bytes();
+
+    // A model with a different dimension is a typed Model error.
+    let wrong = TrigramModel { dim: 16 };
+    assert!(matches!(
+        Resolver::from_bytes(&bytes, &wrong),
+        Err(ErError::Model(_))
+    ));
+    // Truncations and flipped bits are typed Corrupt errors.
+    for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+        assert!(matches!(
+            Resolver::from_bytes(&bytes[..cut], &model),
+            Err(ErError::Corrupt(_))
+        ));
+    }
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x10;
+    assert!(matches!(
+        Resolver::from_bytes(&flipped, &model),
+        Err(ErError::Corrupt(_))
+    ));
+    // An index container is not a resolver container.
+    let solo = ExactIndex::build(&[Embedding(vec![0.0; 4])]).to_bytes();
+    assert!(matches!(
+        Resolver::from_bytes(&solo, &model),
+        Err(ErError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn all_deleted_shards_return_empty_not_panic() {
+    let model = TrigramModel { dim: 24 };
+    let mut resolver = Resolver::new(
+        &model,
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new().shards(4),
+    );
+    for id in 0..12u32 {
+        resolver.insert(&entity(id, &format!("r{id}"))).unwrap();
+    }
+    for id in 0..12u32 {
+        assert!(resolver.delete(EntityId(id)));
+    }
+    assert!(resolver.is_empty());
+    assert!(resolver.query_text("r3", 5).is_empty());
+    // The service keeps working after total deletion.
+    assert!(resolver.insert(&entity(100, "fresh start")).unwrap());
+    let hits = resolver.query_text("fresh start", 5);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].id, EntityId(100));
+}
+
+/// SchemaBased serialization modes survive persistence (the mode string
+/// is part of the container).
+#[test]
+fn schema_based_mode_round_trips() {
+    let model = TrigramModel { dim: 24 };
+    let mode = SerializationMode::SchemaBased("title".into());
+    let mut resolver = Resolver::new(&model, mode.clone(), ServeConfig::new());
+    let e = Entity::new(
+        EntityId(5),
+        vec![
+            ("title".into(), "the load-bearing attribute".into()),
+            ("junk".into(), "ignored by this mode".into()),
+        ],
+    );
+    resolver.insert(&e).unwrap();
+    let back = Resolver::from_bytes(&resolver.to_bytes(), &model).unwrap();
+    assert_eq!(back.mode(), &mode);
+    assert_eq!(
+        back.query_text("the load-bearing attribute", 1),
+        resolver.query_text("the load-bearing attribute", 1)
+    );
+}

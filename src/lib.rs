@@ -30,6 +30,7 @@ pub use er_embed as embed;
 pub use er_eval as eval;
 pub use er_index as index;
 pub use er_matching as matching;
+pub use er_serve as serve;
 pub use er_tensor as tensor;
 pub use er_text as text;
 
@@ -56,12 +57,14 @@ pub mod prelude {
     pub use er_embed::{AnyModel, LanguageModel, ModelCode, ModelZoo, ZooConfig};
     pub use er_eval::{pearson, Metrics, StageReport};
     pub use er_index::{
-        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, Neighbor, NnIndex,
+        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex,
+        Neighbor, NnIndex,
     };
     pub use er_matching::{
         best_match_clustering, connected_components_clustering, kiraly_clustering,
         unique_mapping_clustering, Clusterer, SweepPoint, ThresholdSweep,
     };
+    pub use er_serve::{Hit, Resolver, ServeConfig, ShardedIndex};
     pub use er_text::corpus::synthetic_corpus;
     pub use er_text::{normalize, tokenize, Corpus};
 

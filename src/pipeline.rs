@@ -69,6 +69,10 @@ pub struct ResolveOutcome {
     /// The best-F1 threshold of the sweep (lowest δ wins ties).
     pub best_delta: f32,
     pub report: StageReport,
+    /// [`StageReport::to_json`] rendered to text — the machine-readable
+    /// twin of `report`, ready to write next to a `BENCH_*.json` snapshot
+    /// without the caller depending on `er-eval`'s JSON plumbing.
+    pub report_json: String,
 }
 
 /// A configured vectorize → index → block run: one model, one
@@ -166,12 +170,14 @@ impl<'m> Pipeline<'m> {
             let count = matches.len();
             (matches, count)
         });
+        let report_json = report.to_json().to_string();
         ResolveOutcome {
             matches,
             candidates,
             sweep,
             best_delta,
             report,
+            report_json,
         }
     }
 }
@@ -363,5 +369,18 @@ mod tests {
         // Identical serializations embed identically: resolve must find
         // every i ↔ i pair at the best δ.
         assert_eq!(best.metrics.f1, 1.0);
+        // The serialized report is the report, rendered.
+        assert_eq!(outcome.report_json, outcome.report.to_json().to_string());
+        let parsed = er_core::json::Json::parse(&outcome.report_json).unwrap();
+        let stage_names: Vec<String> = parsed
+            .expect("stages")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|s| s.expect("stage").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(stage_names, stages);
+        assert_eq!(outcome.report.items_of("vectorize-left"), 12);
     }
 }
