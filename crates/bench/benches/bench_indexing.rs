@@ -199,6 +199,7 @@ fn bench_pipeline_block_d1(c: &mut Criterion) {
             ..HnswConfig::default()
         }),
         dirty: false,
+        ..TopKConfig::default()
     };
     let pipeline = Pipeline::new(model.as_ref(), SerializationMode::SchemaAgnostic);
     let mut group = c.benchmark_group("pipeline_block_d1_e2e");

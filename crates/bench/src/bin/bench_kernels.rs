@@ -1,0 +1,359 @@
+//! Kernel-tier throughput benchmark, emitting the machine-readable
+//! `BENCH_kernels.json` snapshot committed per PR (DESIGN.md §7): GB/s
+//! and ns/row for every scan tier × metric × dimension.
+//!
+//! One cell = a full top-k-style scan: a handful of queries, each ranked
+//! against every row of a seeded random matrix with precomputed row
+//! norms, exactly the access pattern of `ExactIndex`. The f32 tiers
+//! (`reference`, `lanes`) read `dim × 4` bytes per row; `int8` reads
+//! `dim` bytes; `pq` reads `subspaces` bytes — the bandwidth column is
+//! why the quantized tiers win on large scans.
+//!
+//! Modes:
+//!
+//! * default — 5 repetitions per cell, best time kept;
+//! * `--quick` — single repetition (the CI smoke-pass mode);
+//! * `--check <path>` — no timing: parse an existing snapshot and fail
+//!   unless it has every tier × metric cell with positive numbers (the
+//!   CI freshness gate for the committed `BENCH_kernels.json`).
+//!
+//! Run from the workspace root:
+//! `cargo run --release -p er-bench --bin bench_kernels [out.json]`.
+
+use er_core::json::Json;
+use er_core::pq::{PqCodebook, PqConfig};
+use er_core::rng::rng;
+use er_core::{EmbeddingMatrix, KernelTier};
+use rand::Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 0x9e37_79b9;
+const ROWS: usize = 12_000;
+const DIMS: [usize; 3] = [48, 64, 96];
+const QUERIES: usize = 4;
+const PQ_SUBSPACES: usize = 8;
+
+const TIERS: [&str; 4] = ["reference", "lanes", "int8", "pq"];
+const METRICS: [&str; 3] = ["dot", "cosine", "sqeuclidean"];
+
+fn random_matrix(rows: usize, dim: usize, seed: u64) -> EmbeddingMatrix {
+    let mut r = rng(seed);
+    let mut m = EmbeddingMatrix::new(dim);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..rows {
+        for v in row.iter_mut() {
+            *v = r.gen_range(-1.0f32..1.0);
+        }
+        m.push(&row);
+    }
+    m
+}
+
+/// Time `scan` (one full pass over the matrix per call) `reps` times and
+/// keep the fastest, returning seconds per pass.
+fn best_of<F: FnMut() -> f32>(reps: usize, mut scan: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let acc = scan();
+        let elapsed = start.elapsed().as_secs_f64();
+        black_box(acc);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+struct Cell {
+    tier: &'static str,
+    metric: &'static str,
+    dim: usize,
+    ns_per_row: f64,
+    gb_per_s: f64,
+}
+
+fn cell(
+    tier: &'static str,
+    metric: &'static str,
+    dim: usize,
+    bytes_per_row: usize,
+    seconds: f64,
+) -> Cell {
+    let scanned = (ROWS * QUERIES) as f64;
+    Cell {
+        tier,
+        metric,
+        dim,
+        ns_per_row: seconds * 1e9 / scanned,
+        gb_per_s: scanned * bytes_per_row as f64 / seconds / 1e9,
+    }
+}
+
+/// All tier × metric cells for one dimension.
+fn bench_dim(dim: usize, reps: usize) -> Vec<Cell> {
+    let matrix = random_matrix(ROWS, dim, SEED ^ dim as u64);
+    let queries = random_matrix(QUERIES, dim, SEED ^ 0xbeef);
+    let mut cells = Vec::new();
+
+    for tier in [KernelTier::Reference, KernelTier::Lanes] {
+        let name = tier.name();
+        let f32_bytes = dim * 4;
+        let s = best_of(reps, || {
+            let mut acc = 0.0f32;
+            for q in queries.rows_iter() {
+                for row in matrix.rows_iter() {
+                    acc += tier.dot(q, row);
+                }
+            }
+            acc
+        });
+        cells.push(cell(name, "dot", dim, f32_bytes, s));
+        let s = best_of(reps, || {
+            let mut acc = 0.0f32;
+            for qi in 0..queries.len() {
+                let q = queries.row(qi);
+                let qn = tier.norm(q);
+                for (i, row) in matrix.rows_iter().enumerate() {
+                    acc += tier.cosine_prenorm(q, qn, row, matrix.norm(i));
+                }
+            }
+            acc
+        });
+        cells.push(cell(name, "cosine", dim, f32_bytes, s));
+        let s = best_of(reps, || {
+            let mut acc = 0.0f32;
+            for q in queries.rows_iter() {
+                for row in matrix.rows_iter() {
+                    acc += tier.squared_euclidean(q, row);
+                }
+            }
+            acc
+        });
+        cells.push(cell(name, "sqeuclidean", dim, f32_bytes, s));
+    }
+
+    // int8: the scan reads dim bytes of codes per row (plus O(1) per-row
+    // scalars), and every distance runs on the integer-accumulator dot.
+    let qm = matrix.quantize();
+    let s = best_of(reps, || {
+        let mut acc = 0.0f32;
+        for q in queries.rows_iter() {
+            let qq = qm.quantize_query(q);
+            for i in 0..qm.len() {
+                acc += qm.dot(&qq, i);
+            }
+        }
+        acc
+    });
+    cells.push(cell("int8", "dot", dim, dim, s));
+    let s = best_of(reps, || {
+        let mut acc = 0.0f32;
+        for q in queries.rows_iter() {
+            let qq = qm.quantize_query(q);
+            for i in 0..qm.len() {
+                acc += qm.cosine(&qq, i);
+            }
+        }
+        acc
+    });
+    cells.push(cell("int8", "cosine", dim, dim, s));
+    let s = best_of(reps, || {
+        let mut acc = 0.0f32;
+        for q in queries.rows_iter() {
+            let qq = qm.quantize_query(q);
+            for i in 0..qm.len() {
+                acc += qm.squared_euclidean(&qq, i);
+            }
+        }
+        acc
+    });
+    cells.push(cell("int8", "sqeuclidean", dim, dim, s));
+
+    // PQ: the scan reads `subspaces` code bytes per row; the per-query ADC
+    // table build is inside the timed region (it amortizes over the scan,
+    // as it does in `ExactIndex::search_approx`).
+    let config = PqConfig {
+        subspaces: PQ_SUBSPACES,
+        centroids: 256,
+        iters: 4,
+        seed: SEED,
+    };
+    let book = PqCodebook::train(&matrix, &config).expect("PQ training on the bench matrix");
+    let codes = book.encode(&matrix);
+    let k = book.centroids();
+    let s = best_of(reps, || {
+        let mut acc = 0.0f32;
+        for q in queries.rows_iter() {
+            let table = book.dot_tables(q);
+            for i in 0..codes.len() {
+                acc += codes.adc_sum(&table, k, i);
+            }
+        }
+        acc
+    });
+    cells.push(cell("pq", "dot", dim, PQ_SUBSPACES, s));
+    let s = best_of(reps, || {
+        let mut acc = 0.0f32;
+        for q in queries.rows_iter() {
+            let table = book.dot_tables(q);
+            let qn = er_core::kernels::norm(q);
+            for i in 0..codes.len() {
+                acc += codes.cosine(&table, k, i, qn);
+            }
+        }
+        acc
+    });
+    cells.push(cell("pq", "cosine", dim, PQ_SUBSPACES, s));
+    let s = best_of(reps, || {
+        let mut acc = 0.0f32;
+        for q in queries.rows_iter() {
+            let table = book.l2_tables(q);
+            for i in 0..codes.len() {
+                acc += codes.adc_sum(&table, k, i);
+            }
+        }
+        acc
+    });
+    cells.push(cell("pq", "sqeuclidean", dim, PQ_SUBSPACES, s));
+
+    cells
+}
+
+fn cell_json(c: &Cell) -> Json {
+    Json::Obj(vec![
+        ("tier".into(), Json::from_str_value(c.tier)),
+        ("metric".into(), Json::from_str_value(c.metric)),
+        ("dim".into(), Json::from_usize(c.dim)),
+        ("ns_per_row".into(), Json::from_f32(c.ns_per_row as f32)),
+        ("gb_per_s".into(), Json::from_f32(c.gb_per_s as f32)),
+    ])
+}
+
+/// `ns_per_row` of one cell, for the headline ratios.
+fn ns_of(cells: &[Cell], tier: &str, metric: &str, dim: usize) -> f64 {
+    cells
+        .iter()
+        .find(|c| c.tier == tier && c.metric == metric && c.dim == dim)
+        .expect("ratio cell exists")
+        .ns_per_row
+}
+
+/// `--check` mode: parse a committed snapshot and verify it is complete —
+/// every tier × metric pair present with positive numbers.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let bench = doc
+        .expect("bench")
+        .and_then(|j| j.as_str().map(str::to_owned))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if bench != "kernels" {
+        return Err(format!("{path}: bench is {bench:?}, expected \"kernels\""));
+    }
+    let cells = doc
+        .expect("cells")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut seen = Vec::new();
+    for c in cells {
+        let tier = c
+            .expect("tier")
+            .and_then(|j| j.as_str().map(str::to_owned))
+            .map_err(|e| format!("{path}: cell tier: {e}"))?;
+        let metric = c
+            .expect("metric")
+            .and_then(|j| j.as_str().map(str::to_owned))
+            .map_err(|e| format!("{path}: cell metric: {e}"))?;
+        let ns = c
+            .expect("ns_per_row")
+            .and_then(Json::as_f32)
+            .map_err(|e| format!("{path}: cell ns_per_row: {e}"))?;
+        let gb = c
+            .expect("gb_per_s")
+            .and_then(Json::as_f32)
+            .map_err(|e| format!("{path}: cell gb_per_s: {e}"))?;
+        c.expect("dim")
+            .and_then(Json::as_usize)
+            .map_err(|e| format!("{path}: cell dim: {e}"))?;
+        if ns.is_nan() || ns <= 0.0 || gb.is_nan() || gb <= 0.0 {
+            return Err(format!(
+                "{path}: {tier}/{metric} has non-positive timings (ns={ns}, gb/s={gb})"
+            ));
+        }
+        seen.push((tier, metric));
+    }
+    for tier in TIERS {
+        for metric in METRICS {
+            if !seen.iter().any(|(t, m)| t == tier && m == metric) {
+                return Err(format!("{path}: missing cell {tier}/{metric}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_kernels.json");
+        match check(path) {
+            Ok(()) => {
+                println!("{path}: complete kernel snapshot (all tier x metric cells)");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".into());
+    let reps = if quick { 1 } else { 5 };
+
+    let mut cells = Vec::new();
+    for dim in DIMS {
+        cells.extend(bench_dim(dim, reps));
+    }
+
+    // The headline contracts: unrolled lanes vs the scalar fold on the
+    // 64-d cosine scan, and the int8 scan vs lanes on the same cell.
+    let ratios = Json::Obj(vec![
+        (
+            "lanes_vs_reference_cosine64".into(),
+            Json::from_f32(
+                (ns_of(&cells, "reference", "cosine", 64) / ns_of(&cells, "lanes", "cosine", 64))
+                    as f32,
+            ),
+        ),
+        (
+            "int8_vs_lanes_cosine64".into(),
+            Json::from_f32(
+                (ns_of(&cells, "lanes", "cosine", 64) / ns_of(&cells, "int8", "cosine", 64)) as f32,
+            ),
+        ),
+    ]);
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::from_str_value("kernels")),
+        ("seed".into(), Json::from_u64(SEED)),
+        ("rows".into(), Json::from_usize(ROWS)),
+        ("queries".into(), Json::from_usize(QUERIES)),
+        ("pq_subspaces".into(), Json::from_usize(PQ_SUBSPACES)),
+        ("ratios".into(), ratios),
+        (
+            "cells".into(),
+            Json::Arr(cells.iter().map(cell_json).collect()),
+        ),
+    ]);
+    let text = format!("{doc}\n");
+    std::fs::write(&out_path, &text).expect("write benchmark snapshot");
+    print!("{text}");
+}

@@ -56,7 +56,8 @@ fn main() {
         model.as_ref(),
         SerializationMode::SchemaAgnostic,
         ServeConfig::new().shards(4),
-    );
+    )
+    .expect("default serve config");
 
     // Phase 1: streaming inserts into an empty service.
     let start = Instant::now();

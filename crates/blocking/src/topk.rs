@@ -18,7 +18,9 @@
 
 use crate::dedup_scored;
 use er_core::{Embedding, EmbeddingMatrix, EntityId, ScoredPair};
-use er_index::{ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex};
+use er_index::{
+    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex, ScanConfig,
+};
 
 /// Which index serves the k-NN queries.
 #[derive(Debug, Clone)]
@@ -66,6 +68,11 @@ pub struct TopKConfig {
     /// order-normalized and self-pairs dropped (see
     /// [`crate::dedup_candidates`]).
     pub dirty: bool,
+    /// Kernel tier / quantization for the *Exact* backend's scan (HNSW and
+    /// LSH carry their own `tier` in their configs). The default is the
+    /// pre-tier behavior: `Reference` kernels, no quantization — candidate
+    /// scores stay bit-identical to the seed pipeline.
+    pub scan: ScanConfig,
 }
 
 impl TopKConfig {
@@ -89,6 +96,12 @@ impl TopKConfig {
         self.dirty = dirty;
         self
     }
+
+    /// Choose the Exact backend's kernel tier / quantization.
+    pub fn scan(mut self, scan: ScanConfig) -> TopKConfig {
+        self.scan = scan;
+        self
+    }
 }
 
 impl Default for TopKConfig {
@@ -97,6 +110,7 @@ impl Default for TopKConfig {
             k: 10,
             backend: BlockerBackend::default(),
             dirty: false,
+            scan: ScanConfig::default(),
         }
     }
 }
@@ -171,7 +185,10 @@ pub fn top_k_blocking_scored_matrix(
     }
     match &config.backend {
         BlockerBackend::Exact(metric) => query_all(
-            &ExactIndex::from_matrix(right, *metric),
+            // A bad PQ layout (subspaces not dividing the embedding dim) is
+            // a construction bug in the caller's config, not a data error.
+            &ExactIndex::from_source_scan(right, *metric, config.scan)
+                .expect("top-k blocking: scan config failed to build"),
             left_ids,
             left,
             right_ids,
@@ -259,6 +276,7 @@ mod tests {
                 k: 1,
                 backend: BlockerBackend::Exact(Metric::Euclidean),
                 dirty: false,
+                ..TopKConfig::default()
             },
         );
         assert_eq!(
@@ -284,6 +302,7 @@ mod tests {
                     k,
                     backend: BlockerBackend::Exact(Metric::Euclidean),
                     dirty: false,
+                    ..TopKConfig::default()
                 },
             );
             assert!(candidates.len() <= 3 * k.min(3));
@@ -308,6 +327,7 @@ mod tests {
                 k: 2,
                 backend: BlockerBackend::Exact(Metric::Euclidean),
                 dirty: true,
+                ..TopKConfig::default()
             },
         );
         assert!(candidates.iter().all(|(a, b)| a < b), "{candidates:?}");
@@ -333,6 +353,7 @@ mod tests {
                 k: 2,
                 backend,
                 dirty: false,
+                ..TopKConfig::default()
             };
             let legacy = top_k_blocking(&ids(3), &left, &ids(3), &right, &config);
             let matrix =
@@ -348,6 +369,7 @@ mod tests {
             k: 0,
             backend: BlockerBackend::Exact(Metric::Euclidean),
             dirty: false,
+            ..TopKConfig::default()
         };
         assert!(top_k_blocking(&ids(3), &left, &ids(3), &right, &cfg).is_empty());
         assert!(top_k_blocking(&[], &[], &ids(3), &right, &TopKConfig::default()).is_empty());
@@ -440,6 +462,7 @@ mod tests {
                 k: 1,
                 backend: BlockerBackend::Exact(Metric::Euclidean),
                 dirty: false,
+                ..TopKConfig::default()
             },
         );
         let hnsw = top_k_blocking(
@@ -451,6 +474,7 @@ mod tests {
                 k: 1,
                 backend: BlockerBackend::Hnsw(HnswConfig::default()),
                 dirty: false,
+                ..TopKConfig::default()
             },
         );
         assert_eq!(exact, hnsw);

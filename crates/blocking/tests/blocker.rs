@@ -69,6 +69,7 @@ fn every_backend_recovers_planted_duplicates() {
             k: 10,
             backend,
             dirty: false,
+            ..TopKConfig::default()
         };
         let candidates = top_k_blocking(&ids(120), &left, &ids(120), &right, &config);
         let m = Metrics::of_candidates(&candidates, &gt);
@@ -98,6 +99,7 @@ fn blocker_candidate_lists_are_deterministic() {
             k: 5,
             backend,
             dirty: false,
+            ..TopKConfig::default()
         };
         let a = top_k_blocking(&ids(100), &left, &ids(100), &right, &config);
         let b = top_k_blocking(&ids(100), &left, &ids(100), &right, &config);
@@ -116,6 +118,7 @@ fn blocker_candidate_lists_are_deterministic() {
             ..HnswConfig::default()
         }),
         dirty: false,
+        ..TopKConfig::default()
     };
     let c = top_k_blocking(&ids(100), &left, &ids(100), &right, &reseeded);
     assert!(!c.is_empty());
@@ -131,6 +134,7 @@ fn candidate_set_is_far_smaller_than_cross_product() {
             ..HnswConfig::default()
         }),
         dirty: false,
+        ..TopKConfig::default()
     };
     let candidates = top_k_blocking(&ids(150), &left, &ids(150), &right, &config);
     let cross = 150 * 150;

@@ -28,6 +28,8 @@
 //! build already computed (see [`matrix_from_reader`], which trusts the
 //! stored norms instead of calling `kernels::norm` again).
 
+use crate::pq::{PqCodebook, PqCodes};
+use crate::quant::QuantizedMatrix;
 use crate::{EmbeddingMatrix, ErError, Result};
 
 /// File magic: "ER Binary Format".
@@ -116,6 +118,18 @@ impl BinWriter {
         for v in vs {
             self.buf.extend_from_slice(&v.to_le_bytes());
         }
+    }
+
+    /// Length-prefixed i8 run (int8 quantization codes).
+    pub fn put_i8_slice(&mut self, vs: &[i8]) {
+        self.put_usize(vs.len());
+        self.buf.extend(vs.iter().map(|&v| v as u8));
+    }
+
+    /// Length-prefixed u8 run (PQ codes).
+    pub fn put_u8_slice(&mut self, vs: &[u8]) {
+        self.put_usize(vs.len());
+        self.buf.extend_from_slice(vs);
     }
 
     /// Length-prefixed UTF-8 string.
@@ -248,6 +262,17 @@ impl<'a> BinReader<'a> {
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect())
+    }
+
+    pub fn get_i8_vec(&mut self) -> Result<Vec<i8>> {
+        let len = self.get_len(1)?;
+        let bytes = self.take(len)?;
+        Ok(bytes.iter().map(|&b| b as i8).collect())
+    }
+
+    pub fn get_u8_vec(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_len(1)?;
+        Ok(self.take(len)?.to_vec())
     }
 
     pub fn get_str(&mut self) -> Result<String> {
@@ -399,6 +424,56 @@ pub fn matrix_from_bytes(bytes: &[u8]) -> Result<EmbeddingMatrix> {
     let sections = read_container(bytes, kind::MATRIX)?;
     let body = section(&sections, 1, "matrix")?;
     matrix_from_reader(&mut BinReader::new(body))
+}
+
+/// Serialize an int8-quantized matrix: dim, codes, and the per-row affine
+/// maps. The derived statistics (code sums, dequantized norms) are
+/// deterministic functions of the codes and are recomputed at load — unlike
+/// f32 row norms there is no rounding freedom to preserve.
+pub fn quantized_to_writer(w: &mut BinWriter, q: &QuantizedMatrix) {
+    w.put_usize(q.dim());
+    w.put_i8_slice(q.codes());
+    w.put_f32_slice(q.scales());
+    w.put_f32_slice(q.zeros());
+}
+
+/// Inverse of [`quantized_to_writer`]; shape mismatches surface as typed
+/// [`ErError::Parse`] from `QuantizedMatrix::from_parts`.
+pub fn quantized_from_reader(r: &mut BinReader) -> Result<QuantizedMatrix> {
+    let dim = r.get_usize()?;
+    let codes = r.get_i8_vec()?;
+    let scales = r.get_f32_vec()?;
+    let zeros = r.get_f32_vec()?;
+    QuantizedMatrix::from_parts(dim, codes, scales, zeros)
+}
+
+/// Serialize a PQ codebook: shape header + flat centroid floats verbatim.
+pub fn codebook_to_writer(w: &mut BinWriter, book: &PqCodebook) {
+    w.put_usize(book.dim());
+    w.put_usize(book.subspaces());
+    w.put_usize(book.centroids());
+    w.put_f32_slice(book.data());
+}
+
+/// Inverse of [`codebook_to_writer`].
+pub fn codebook_from_reader(r: &mut BinReader) -> Result<PqCodebook> {
+    let dim = r.get_usize()?;
+    let subspaces = r.get_usize()?;
+    let centroids = r.get_usize()?;
+    let data = r.get_f32_vec()?;
+    PqCodebook::from_parts(dim, subspaces, centroids, data)
+}
+
+/// Serialize PQ codes (one byte per subspace per row). Reconstructed-row
+/// norms are recomputed from the codebook at load.
+pub fn pq_codes_to_writer(w: &mut BinWriter, codes: &PqCodes) {
+    w.put_u8_slice(codes.codes());
+}
+
+/// Inverse of [`pq_codes_to_writer`]; out-of-range codes are typed errors.
+pub fn pq_codes_from_reader(r: &mut BinReader, book: &PqCodebook) -> Result<PqCodes> {
+    let codes = r.get_u8_vec()?;
+    PqCodes::from_parts(book, codes)
 }
 
 #[cfg(test)]

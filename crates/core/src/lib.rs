@@ -17,6 +17,8 @@ pub mod error;
 pub mod json;
 pub mod kernels;
 pub mod matrix;
+pub mod pq;
+pub mod quant;
 pub mod rng;
 
 pub use entity::{
@@ -24,4 +26,7 @@ pub use entity::{
     SerializationMode,
 };
 pub use error::{ErError, Result};
+pub use kernels::KernelTier;
 pub use matrix::{EmbeddingMatrix, VectorSource, VectorStore};
+pub use pq::{PqCodebook, PqCodes, PqConfig};
+pub use quant::{QuantizedMatrix, QuantizedQuery};

@@ -157,6 +157,13 @@ impl EmbeddingMatrix {
         // `chunks_exact(0)` panics, so pin the empty case explicitly.
         self.data.chunks_exact(self.dim.max(1)).take(self.len())
     }
+
+    /// Int8-quantize every row (see [`crate::quant::QuantizedMatrix`]) —
+    /// the entry point of the memory-bound scan tier. Deterministic and
+    /// row-local, so quantizing shards equals quantizing the whole matrix.
+    pub fn quantize(&self) -> crate::quant::QuantizedMatrix {
+        crate::quant::QuantizedMatrix::quantize(self)
+    }
 }
 
 impl From<&[Embedding]> for EmbeddingMatrix {

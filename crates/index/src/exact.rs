@@ -2,11 +2,70 @@
 //! truth every approximate index is measured against. The scan walks the
 //! contiguous rows of an [`EmbeddingMatrix`] with precomputed row norms,
 //! so a cosine pass reads each stored vector exactly once.
+//!
+//! The scan has tiers (see [`ScanConfig`]): the f32 pass can run on the
+//! bit-exact `Reference` kernels or the unrolled `Lanes` kernels, and the
+//! whole pass can be replaced by a memory-bound quantized scan (int8 or
+//! PQ) that ranks *approximate* distances and then re-ranks the best `R`
+//! candidates with the exact f32 kernels. The re-ranked prefix carries
+//! exact distances, so with `R ≥` live rows the output is bit-identical to
+//! the pure exact scan.
 
 use crate::{Metric, MutableIndex, Neighbor, NnIndex};
-use er_core::{Embedding, EmbeddingMatrix, ErError, VectorSource, VectorStore};
+use er_core::pq::{PqCodebook, PqCodes, PqConfig};
+use er_core::quant::QuantizedMatrix;
+use er_core::{Embedding, EmbeddingMatrix, ErError, KernelTier, VectorSource, VectorStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Which storage the brute-force scan ranks rows with.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Quantization {
+    /// Rank with the full f32 rows — the exact scan.
+    #[default]
+    None,
+    /// Rank with int8 codes (4× less traffic), then re-rank the best
+    /// `rerank.max(k)` candidates with the exact f32 kernels.
+    Int8 {
+        /// Candidates re-ranked exactly; clamped up to `k` at query time.
+        rerank: usize,
+    },
+    /// Rank with product-quantization ADC tables (`subspaces` bytes per
+    /// row), then re-rank the best `rerank.max(k)` candidates exactly.
+    Pq {
+        config: PqConfig,
+        /// Candidates re-ranked exactly; clamped up to `k` at query time.
+        rerank: usize,
+    },
+}
+
+/// Full scan configuration: the f32 kernel tier plus the optional
+/// quantized first pass. The default (`Reference`, no quantization) is the
+/// pre-tier behavior, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScanConfig {
+    pub tier: KernelTier,
+    pub quant: Quantization,
+}
+
+impl ScanConfig {
+    /// The exact scan on the given kernel tier.
+    pub fn with_tier(tier: KernelTier) -> ScanConfig {
+        ScanConfig {
+            tier,
+            quant: Quantization::None,
+        }
+    }
+}
+
+/// The quantized companion storage of an [`ExactIndex`], kept in sync with
+/// the f32 matrix on inserts.
+#[derive(Debug, Clone)]
+pub(crate) enum QuantState {
+    None,
+    Int8(QuantizedMatrix),
+    Pq { book: PqCodebook, codes: PqCodes },
+}
 
 /// A heap entry ordered by distance (max-heap keeps the worst of the
 /// current top-k on top, ready for eviction).
@@ -45,6 +104,8 @@ pub struct ExactIndex<'a> {
     /// the scan skips them.
     pub(crate) deleted: Vec<bool>,
     pub(crate) deleted_count: usize,
+    pub(crate) scan: ScanConfig,
+    pub(crate) quant: QuantState,
 }
 
 impl ExactIndex<'static> {
@@ -69,20 +130,141 @@ impl<'a> ExactIndex<'a> {
     /// [`VectorStore`] — a borrowed matrix, an owned matrix, or a legacy
     /// `&[Embedding]` (copied once).
     pub fn from_source(source: impl VectorSource<'a>, metric: Metric) -> ExactIndex<'a> {
+        ExactIndex::from_source_scan(source, metric, ScanConfig::default())
+            .expect("the default scan config cannot fail")
+    }
+
+    /// Build with an explicit [`ScanConfig`]. Errors (typed
+    /// [`ErError::Model`]) only for PQ configurations that cannot train —
+    /// an empty matrix or `subspaces` not dividing the dimension.
+    pub fn from_source_scan(
+        source: impl VectorSource<'a>,
+        metric: Metric,
+        scan: ScanConfig,
+    ) -> er_core::Result<ExactIndex<'a>> {
         let store = source.into_store();
         let n = store.len();
-        ExactIndex {
+        let quant = match scan.quant {
+            Quantization::None => QuantState::None,
+            Quantization::Int8 { .. } => QuantState::Int8(store.matrix().quantize()),
+            Quantization::Pq { config, .. } => {
+                let book = PqCodebook::train(store.matrix(), &config)?;
+                let codes = book.encode(store.matrix());
+                QuantState::Pq { book, codes }
+            }
+        };
+        Ok(ExactIndex {
             store,
             metric,
             deleted: vec![false; n],
             deleted_count: 0,
-        }
+            scan,
+            quant,
+        })
     }
 
     /// The stored vectors (owned or borrowed).
     pub fn matrix(&self) -> &EmbeddingMatrix {
         self.store.matrix()
     }
+
+    /// The scan configuration this index ranks with.
+    pub fn scan_config(&self) -> ScanConfig {
+        self.scan
+    }
+
+    /// The exact f32 top-k scan on the configured kernel tier, ignoring any
+    /// quantized storage — the re-rank pass and the ground-truth scan.
+    fn search_exact(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let matrix = self.store.matrix();
+        let tier = self.scan.tier;
+        let query_norm = self.metric.query_norm_tier(tier, query);
+        let mut heap: BinaryHeap<Hit> = BinaryHeap::with_capacity(k + 1);
+        for (idx, row) in matrix.rows_iter().enumerate() {
+            if self.deleted[idx] {
+                continue;
+            }
+            let dist =
+                self.metric
+                    .distance_prenorm_tier(tier, query, query_norm, row, matrix.norm(idx));
+            push_bounded(&mut heap, k, dist, idx);
+        }
+        drain_sorted(heap)
+    }
+
+    /// Quantized first pass: rank every live row by its approximate
+    /// distance and keep the best `r`.
+    fn search_approx(&self, query: &[f32], r: usize) -> Vec<Neighbor> {
+        let mut heap: BinaryHeap<Hit> = BinaryHeap::with_capacity(r + 1);
+        match &self.quant {
+            QuantState::None => unreachable!("search_approx without quantized storage"),
+            QuantState::Int8(qm) => {
+                let qq = qm.quantize_query(query);
+                for idx in 0..qm.len() {
+                    if self.deleted[idx] {
+                        continue;
+                    }
+                    let dist = match self.metric {
+                        Metric::Euclidean => qm.squared_euclidean(&qq, idx),
+                        Metric::Cosine => 1.0 - qm.cosine(&qq, idx),
+                    };
+                    push_bounded(&mut heap, r, dist, idx);
+                }
+            }
+            QuantState::Pq { book, codes } => {
+                let k_cents = book.centroids();
+                match self.metric {
+                    Metric::Euclidean => {
+                        let table = book.l2_tables(query);
+                        for idx in 0..codes.len() {
+                            if self.deleted[idx] {
+                                continue;
+                            }
+                            let dist = codes.adc_sum(&table, k_cents, idx);
+                            push_bounded(&mut heap, r, dist, idx);
+                        }
+                    }
+                    Metric::Cosine => {
+                        let table = book.dot_tables(query);
+                        let query_norm = er_core::kernels::norm(query);
+                        for idx in 0..codes.len() {
+                            if self.deleted[idx] {
+                                continue;
+                            }
+                            let dist = 1.0 - codes.cosine(&table, k_cents, idx, query_norm);
+                            push_bounded(&mut heap, r, dist, idx);
+                        }
+                    }
+                }
+            }
+        }
+        drain_sorted(heap)
+    }
+}
+
+/// Keep the best `k` `(dist, idx)` pairs in a bounded max-heap.
+#[inline]
+fn push_bounded(heap: &mut BinaryHeap<Hit>, k: usize, dist: f32, idx: usize) {
+    if heap.len() < k {
+        heap.push(Hit { dist, idx });
+    } else if dist < heap.peek().expect("non-empty").dist {
+        heap.pop();
+        heap.push(Hit { dist, idx });
+    }
+}
+
+/// Heap → neighbors sorted by `(distance, index)`.
+fn drain_sorted(heap: BinaryHeap<Hit>) -> Vec<Neighbor> {
+    let mut hits: Vec<Neighbor> = heap
+        .into_iter()
+        .map(|h| Neighbor::new(h.idx, h.dist))
+        .collect();
+    hits.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    hits
 }
 
 impl NnIndex for ExactIndex<'_> {
@@ -98,32 +280,37 @@ impl NnIndex for ExactIndex<'_> {
         if k == 0 || self.live_count() == 0 {
             return Vec::new();
         }
+        let rerank = match self.scan.quant {
+            Quantization::None => return self.search_exact(query, k),
+            Quantization::Int8 { rerank } | Quantization::Pq { rerank, .. } => rerank,
+        };
+        // Quantized first pass over the best R = max(rerank, k) rows, then
+        // an exact re-rank: every returned distance comes from the f32
+        // kernels, the quantized codes only choose *which* rows compete.
+        let r = rerank.max(k);
+        let candidates = self.search_approx(query, r);
         let matrix = self.store.matrix();
-        let query_norm = self.metric.query_norm(query);
-        let mut heap: BinaryHeap<Hit> = BinaryHeap::with_capacity(k + 1);
-        for (idx, row) in matrix.rows_iter().enumerate() {
-            if self.deleted[idx] {
-                continue;
-            }
-            let dist = self
-                .metric
-                .distance_prenorm(query, query_norm, row, matrix.norm(idx));
-            if heap.len() < k {
-                heap.push(Hit { dist, idx });
-            } else if dist < heap.peek().expect("non-empty").dist {
-                heap.pop();
-                heap.push(Hit { dist, idx });
-            }
-        }
-        let mut hits: Vec<Neighbor> = heap
+        let tier = self.scan.tier;
+        let query_norm = self.metric.query_norm_tier(tier, query);
+        let mut hits: Vec<Neighbor> = candidates
             .into_iter()
-            .map(|h| Neighbor::new(h.idx, h.dist))
+            .map(|c| {
+                let dist = self.metric.distance_prenorm_tier(
+                    tier,
+                    query,
+                    query_norm,
+                    matrix.row(c.index),
+                    matrix.norm(c.index),
+                );
+                Neighbor::new(c.index, dist)
+            })
             .collect();
         hits.sort_by(|a, b| {
             a.distance
                 .total_cmp(&b.distance)
                 .then_with(|| a.index.cmp(&b.index))
         });
+        hits.truncate(k);
         hits
     }
 }
@@ -150,6 +337,18 @@ impl MutableIndex for ExactIndex<'_> {
         }
         matrix.push(row);
         self.deleted.push(false);
+        // Keep the quantized companion storage in sync.
+        match &mut self.quant {
+            QuantState::None => {}
+            QuantState::Int8(qm) => {
+                if qm.is_empty() && qm.dim() != row.len() {
+                    // The empty index adopted this row's dimension above.
+                    *qm = QuantizedMatrix::new(row.len());
+                }
+                qm.push_row(row);
+            }
+            QuantState::Pq { book, codes } => book.encode_row(row, codes),
+        }
         Ok(self.store.len() - 1)
     }
 

@@ -51,6 +51,12 @@ pub struct HnswConfig {
     pub metric: Metric,
     /// Seed for the level-sampling stream.
     pub seed: u64,
+    /// Kernel tier every graph distance runs on. `Reference` (the default)
+    /// keeps builds bit-identical to the pre-tier index; `Lanes` speeds up
+    /// construction and search, with the usual ≤-tolerance contract. The
+    /// tier is persisted: a loaded graph searches with the tier it was
+    /// built with.
+    pub tier: er_core::KernelTier,
 }
 
 impl Default for HnswConfig {
@@ -61,6 +67,7 @@ impl Default for HnswConfig {
             ef_search: 64,
             metric: Metric::Euclidean,
             seed: 42,
+            tier: er_core::KernelTier::Reference,
         }
     }
 }
@@ -209,7 +216,8 @@ impl<'a> HnswIndex<'a> {
     #[inline]
     fn dist(&self, query: &[f32], query_norm: f32, id: u32) -> f32 {
         let m = self.store.matrix();
-        self.config.metric.distance_prenorm(
+        self.config.metric.distance_prenorm_tier(
+            self.config.tier,
             query,
             query_norm,
             m.row(id as usize),
@@ -221,7 +229,8 @@ impl<'a> HnswIndex<'a> {
     #[inline]
     fn dist_rows(&self, a: u32, b: u32) -> f32 {
         let m = self.store.matrix();
-        self.config.metric.distance_prenorm(
+        self.config.metric.distance_prenorm_tier(
+            self.config.tier,
             m.row(a as usize),
             m.norm(a as usize),
             m.row(b as usize),
@@ -466,7 +475,7 @@ impl NnIndex for HnswIndex<'_> {
         if k == 0 || self.live_count() == 0 {
             return Vec::new();
         }
-        let query_norm = self.config.metric.query_norm(query);
+        let query_norm = self.config.metric.query_norm_tier(self.config.tier, query);
         let mut cur = Cand {
             dist: self.dist(query, query_norm, self.entry),
             id: self.entry,

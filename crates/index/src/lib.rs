@@ -19,7 +19,7 @@ pub mod lsh;
 pub mod metric;
 pub mod persist;
 
-pub use exact::ExactIndex;
+pub use exact::{ExactIndex, Quantization, ScanConfig};
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use lsh::{HyperplaneLsh, LshConfig};
 pub use metric::Metric;

@@ -17,7 +17,7 @@
 
 use crate::{Metric, MutableIndex, Neighbor, NnIndex};
 use er_core::rng::derive;
-use er_core::{kernels, Embedding, EmbeddingMatrix, ErError, VectorSource, VectorStore};
+use er_core::{Embedding, EmbeddingMatrix, ErError, KernelTier, VectorSource, VectorStore};
 use rand::{Rng, RngCore};
 use std::collections::HashMap;
 
@@ -32,6 +32,11 @@ pub struct LshConfig {
     /// Metric used for the exact re-ranking of gathered candidates.
     pub metric: Metric,
     pub seed: u64,
+    /// Kernel tier for the signature dots and the candidate re-ranking.
+    /// Signatures are sign bits, so they rarely change across tiers, but
+    /// the tier is part of the build contract and is persisted with the
+    /// index: a loaded index probes with the same tier it hashed with.
+    pub tier: KernelTier,
 }
 
 impl Default for LshConfig {
@@ -44,6 +49,7 @@ impl Default for LshConfig {
             // native re-ranking metric.
             metric: Metric::Cosine,
             seed: 42,
+            tier: KernelTier::Reference,
         }
     }
 }
@@ -121,7 +127,7 @@ impl<'a> HyperplaneLsh<'a> {
                 let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
                 let mut signatures = Vec::with_capacity(matrix.len());
                 for (id, row) in matrix.rows_iter().enumerate() {
-                    let sig = signature(&hyperplanes, row);
+                    let sig = signature(&hyperplanes, row, config.tier);
                     signatures.push(sig);
                     buckets.entry(sig).or_default().push(id as u32);
                 }
@@ -176,7 +182,8 @@ impl<'a> HyperplaneLsh<'a> {
         let mut seen = vec![false; self.store.len()];
         let mut out = Vec::new();
         for table in &self.tables {
-            let (sig, margins) = signature_with_margins(&table.hyperplanes, query);
+            let (sig, margins) =
+                signature_with_margins(&table.hyperplanes, query, self.config.tier);
             // Probe order: the base bucket, then single-bit flips of the
             // least-confident (smallest |margin|) bits.
             let mut order: Vec<usize> = (0..self.config.planes).collect();
@@ -208,21 +215,28 @@ impl<'a> HyperplaneLsh<'a> {
     }
 }
 
-fn signature(hyperplanes: &[Vec<f32>], v: &[f32]) -> u64 {
+/// Signature bits via the tier selector — no private scalar fold here: the
+/// dots come from [`KernelTier::dot`], the same entry point every other
+/// crate ranks with.
+fn signature(hyperplanes: &[Vec<f32>], v: &[f32], tier: KernelTier) -> u64 {
     let mut sig = 0u64;
     for (bit, plane) in hyperplanes.iter().enumerate() {
-        if kernels::dot(plane, v) >= 0.0 {
+        if tier.dot(plane, v) >= 0.0 {
             sig |= 1 << bit;
         }
     }
     sig
 }
 
-fn signature_with_margins(hyperplanes: &[Vec<f32>], v: &[f32]) -> (u64, Vec<f32>) {
+fn signature_with_margins(
+    hyperplanes: &[Vec<f32>],
+    v: &[f32],
+    tier: KernelTier,
+) -> (u64, Vec<f32>) {
     let mut sig = 0u64;
     let mut margins = Vec::with_capacity(hyperplanes.len());
     for (bit, plane) in hyperplanes.iter().enumerate() {
-        let dot = kernels::dot(plane, v);
+        let dot = tier.dot(plane, v);
         if dot >= 0.0 {
             sig |= 1 << bit;
         }
@@ -245,12 +259,14 @@ impl NnIndex for HyperplaneLsh<'_> {
             return Vec::new();
         }
         let matrix = self.store.matrix();
-        let query_norm = self.config.metric.query_norm(query);
+        let tier = self.config.tier;
+        let query_norm = self.config.metric.query_norm_tier(tier, query);
         let mut hits: Vec<Neighbor> = self
             .candidates_slice(query)
             .into_iter()
             .map(|id| {
-                let dist = self.config.metric.distance_prenorm(
+                let dist = self.config.metric.distance_prenorm_tier(
+                    tier,
                     query,
                     query_norm,
                     matrix.row(id as usize),
@@ -291,8 +307,9 @@ impl MutableIndex for HyperplaneLsh<'_> {
         matrix.push(row);
         let id = (self.store.len() - 1) as u32;
         self.deleted.push(false);
+        let tier = self.config.tier;
         for table in &mut self.tables {
-            let sig = signature(&table.hyperplanes, row);
+            let sig = signature(&table.hyperplanes, row, tier);
             table.signatures.push(sig);
             table.buckets.entry(sig).or_default().push(id);
         }

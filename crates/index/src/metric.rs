@@ -10,7 +10,7 @@
 //! `er_matching::similarity` calls — so a distance computed here is
 //! bit-identical to the similarity the matcher derives from it.
 
-use er_core::{kernels, Embedding};
+use er_core::{kernels, Embedding, KernelTier};
 
 /// The distance an index minimizes. Every [`crate::NnIndex`] reports which
 /// one it was built with via [`crate::NnIndex::metric`].
@@ -32,12 +32,20 @@ impl Metric {
     }
 
     /// Slice form of [`Metric::distance`], for raw [`er_core::EmbeddingMatrix`]
-    /// rows.
+    /// rows. Always the bit-exact Reference tier.
     #[inline]
     pub fn distance_slices(&self, a: &[f32], b: &[f32]) -> f32 {
+        self.distance_slices_tier(KernelTier::Reference, a, b)
+    }
+
+    /// [`Metric::distance_slices`] computed with an explicit kernel tier.
+    /// `Reference` is bit-exact; `Lanes` is the unrolled kernel (same
+    /// ≤-tolerance contract as [`KernelTier`]).
+    #[inline]
+    pub fn distance_slices_tier(&self, tier: KernelTier, a: &[f32], b: &[f32]) -> f32 {
         match self {
-            Metric::Euclidean => kernels::squared_euclidean(a, b),
-            Metric::Cosine => 1.0 - kernels::cosine(a, b),
+            Metric::Euclidean => tier.squared_euclidean(a, b),
+            Metric::Cosine => 1.0 - tier.cosine(a, b),
         }
     }
 
@@ -47,9 +55,26 @@ impl Metric {
     /// makes this bit-identical to [`Metric::distance_slices`].
     #[inline]
     pub fn distance_prenorm(&self, a: &[f32], a_norm: f32, b: &[f32], b_norm: f32) -> f32 {
+        self.distance_prenorm_tier(KernelTier::Reference, a, a_norm, b, b_norm)
+    }
+
+    /// [`Metric::distance_prenorm`] computed with an explicit kernel tier.
+    /// The cached row norms stay Reference-computed in every tier (they are
+    /// part of the persistence contract); only the per-row accumulation
+    /// changes, so the zero-vector convention (distance 1.0 under cosine)
+    /// holds in every tier.
+    #[inline]
+    pub fn distance_prenorm_tier(
+        &self,
+        tier: KernelTier,
+        a: &[f32],
+        a_norm: f32,
+        b: &[f32],
+        b_norm: f32,
+    ) -> f32 {
         match self {
-            Metric::Euclidean => kernels::squared_euclidean(a, b),
-            Metric::Cosine => 1.0 - kernels::cosine_prenorm(a, a_norm, b, b_norm),
+            Metric::Euclidean => tier.squared_euclidean(a, b),
+            Metric::Cosine => 1.0 - tier.cosine_prenorm(a, a_norm, b, b_norm),
         }
     }
 
@@ -57,9 +82,15 @@ impl Metric {
     /// per query, or skipped entirely (0.0) when the metric ignores norms.
     #[inline]
     pub fn query_norm(&self, query: &[f32]) -> f32 {
+        self.query_norm_tier(KernelTier::Reference, query)
+    }
+
+    /// [`Metric::query_norm`] computed with an explicit kernel tier.
+    #[inline]
+    pub fn query_norm_tier(&self, tier: KernelTier, query: &[f32]) -> f32 {
         match self {
             Metric::Euclidean => 0.0,
-            Metric::Cosine => kernels::norm(query),
+            Metric::Cosine => tier.norm(query),
         }
     }
 
@@ -77,6 +108,11 @@ impl Metric {
     /// `1 / (1 + d)` ∈ (0, 1]. Both forms are symmetric in `(a, b)` at the
     /// bit level, which lets Dirty-ER dedup order-normalize pairs without
     /// rescoring.
+    ///
+    /// Deliberately tier-less: scored-candidate similarities are pinned to
+    /// the Reference kernel no matter which tier ranked the scan, so the
+    /// matcher-facing score contract never drifts when a faster tier is
+    /// enabled.
     #[inline]
     pub fn hit_similarity(&self, a: &[f32], a_norm: f32, b: &[f32], b_norm: f32, dist: f32) -> f32 {
         match self {

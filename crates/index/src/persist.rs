@@ -28,10 +28,12 @@
 //! out-of-range ids, mismatched section shapes — surfaces as a typed
 //! [`ErError::Corrupt`], never a panic.
 
+use crate::exact::{QuantState, Quantization, ScanConfig};
 use crate::lsh::Table;
 use crate::{ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric};
 use er_core::binary::{self, kind, BinReader, BinWriter};
-use er_core::{ErError, Result, VectorStore};
+use er_core::pq::PqConfig;
+use er_core::{ErError, KernelTier, Result, VectorStore};
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -44,6 +46,12 @@ mod tag {
     pub const GRAPH: u32 = 4;
     pub const HYPERPLANES: u32 = 5;
     pub const SIGNATURES: u32 = 6;
+    /// Int8 quantized companion matrix (exact index only).
+    pub const QUANT: u32 = 7;
+    /// PQ codebook centroids (exact index only).
+    pub const CODEBOOK: u32 = 8;
+    /// PQ codes, one byte per subspace per row (exact index only).
+    pub const PQ_CODES: u32 = 9;
 }
 
 fn corrupt(what: impl std::fmt::Display) -> ErError {
@@ -63,6 +71,10 @@ fn metric_from_code(code: u8) -> Result<Metric> {
         1 => Ok(Metric::Cosine),
         other => Err(corrupt(format!("unknown metric code {other}"))),
     }
+}
+
+fn tier_from_code(code: u8) -> Result<KernelTier> {
+    KernelTier::from_code(code).ok_or_else(|| corrupt(format!("unknown kernel tier code {code}")))
 }
 
 fn tombstones_to_bytes(deleted: &[bool]) -> Vec<u8> {
@@ -98,14 +110,47 @@ impl ExactIndex<'_> {
         binary::matrix_to_writer(&mut matrix, self.store.matrix());
         let mut meta = BinWriter::new();
         meta.put_u8(metric_code(self.metric));
-        binary::write_container(
-            kind::EXACT_INDEX,
-            &[
-                (tag::MATRIX, matrix.into_bytes()),
-                (tag::META, meta.into_bytes()),
-                (tag::TOMBSTONES, tombstones_to_bytes(&self.deleted)),
-            ],
-        )
+        meta.put_u8(self.scan.tier.code());
+        match self.scan.quant {
+            Quantization::None => meta.put_u8(0),
+            Quantization::Int8 { rerank } => {
+                meta.put_u8(1);
+                meta.put_usize(rerank);
+            }
+            Quantization::Pq { config, rerank } => {
+                meta.put_u8(2);
+                meta.put_usize(rerank);
+                meta.put_usize(config.subspaces);
+                meta.put_usize(config.centroids);
+                meta.put_usize(config.iters);
+                meta.put_u64(config.seed);
+            }
+        }
+        let mut sections = vec![
+            (tag::MATRIX, matrix.into_bytes()),
+            (tag::META, meta.into_bytes()),
+            (tag::TOMBSTONES, tombstones_to_bytes(&self.deleted)),
+        ];
+        // The quantized companion storage serializes verbatim — a load
+        // must see the codes the build produced, not re-quantize (the
+        // codebook in particular is a trained artifact).
+        match &self.quant {
+            QuantState::None => {}
+            QuantState::Int8(qm) => {
+                let mut w = BinWriter::new();
+                binary::quantized_to_writer(&mut w, qm);
+                sections.push((tag::QUANT, w.into_bytes()));
+            }
+            QuantState::Pq { book, codes } => {
+                let mut w = BinWriter::new();
+                binary::codebook_to_writer(&mut w, book);
+                sections.push((tag::CODEBOOK, w.into_bytes()));
+                let mut w = BinWriter::new();
+                binary::pq_codes_to_writer(&mut w, codes);
+                sections.push((tag::PQ_CODES, w.into_bytes()));
+            }
+        }
+        binary::write_container(kind::EXACT_INDEX, &sections)
     }
 
     /// Write [`ExactIndex::to_bytes`] to a file.
@@ -122,12 +167,75 @@ impl ExactIndex<'static> {
         let matrix = matrix_section(&sections)?;
         let mut meta = BinReader::new(binary::section(&sections, tag::META, "meta")?);
         let metric = metric_from_code(meta.get_u8()?)?;
+        let tier = tier_from_code(meta.get_u8()?)?;
+        let quant_cfg = match meta.get_u8()? {
+            0 => Quantization::None,
+            1 => Quantization::Int8 {
+                rerank: meta.get_usize()?,
+            },
+            2 => Quantization::Pq {
+                rerank: meta.get_usize()?,
+                config: PqConfig {
+                    subspaces: meta.get_usize()?,
+                    centroids: meta.get_usize()?,
+                    iters: meta.get_usize()?,
+                    seed: meta.get_u64()?,
+                },
+            },
+            other => return Err(corrupt(format!("unknown quantization code {other}"))),
+        };
+        let quant = match quant_cfg {
+            Quantization::None => QuantState::None,
+            Quantization::Int8 { .. } => {
+                let body = binary::section(&sections, tag::QUANT, "quantized matrix")?;
+                let qm =
+                    binary::quantized_from_reader(&mut BinReader::new(body)).map_err(corrupt)?;
+                if qm.dim() != matrix.dim() || qm.len() != matrix.len() {
+                    return Err(corrupt(format!(
+                        "quantized matrix is {}×{}, f32 matrix is {}×{}",
+                        qm.len(),
+                        qm.dim(),
+                        matrix.len(),
+                        matrix.dim()
+                    )));
+                }
+                QuantState::Int8(qm)
+            }
+            Quantization::Pq { .. } => {
+                let body = binary::section(&sections, tag::CODEBOOK, "PQ codebook")?;
+                let book =
+                    binary::codebook_from_reader(&mut BinReader::new(body)).map_err(corrupt)?;
+                if book.dim() != matrix.dim() {
+                    return Err(corrupt(format!(
+                        "PQ codebook dim {} does not match matrix dim {}",
+                        book.dim(),
+                        matrix.dim()
+                    )));
+                }
+                let body = binary::section(&sections, tag::PQ_CODES, "PQ codes")?;
+                let codes = binary::pq_codes_from_reader(&mut BinReader::new(body), &book)
+                    .map_err(corrupt)?;
+                if codes.len() != matrix.len() {
+                    return Err(corrupt(format!(
+                        "PQ codes cover {} rows, matrix has {}",
+                        codes.len(),
+                        matrix.len()
+                    )));
+                }
+                QuantState::Pq { book, codes }
+            }
+        };
         let (deleted, deleted_count) = tombstones_from(&sections, matrix.len())?;
         Ok(ExactIndex {
             store: VectorStore::Owned(matrix),
             metric,
             deleted,
             deleted_count,
+            scan: ScanConfig {
+                tier,
+                quant: quant_cfg,
+            },
+            quant,
         })
     }
 
@@ -150,6 +258,7 @@ impl HnswIndex<'_> {
         meta.put_usize(self.config.ef_search);
         meta.put_u64(self.config.seed);
         meta.put_u8(metric_code(self.config.metric));
+        meta.put_u8(self.config.tier.code());
         meta.put_u32(self.entry);
         meta.put_usize(self.max_level);
         let mut graph = BinWriter::new();
@@ -193,6 +302,7 @@ impl HnswIndex<'static> {
             ef_search: meta.get_usize()?,
             seed: meta.get_u64()?,
             metric: metric_from_code(meta.get_u8()?)?,
+            tier: tier_from_code(meta.get_u8()?)?,
         };
         if config.m < 2 || config.ef_construction < 1 || config.ef_search < 1 {
             return Err(corrupt(format!(
@@ -267,6 +377,7 @@ impl HyperplaneLsh<'_> {
         meta.put_usize(self.config.probes);
         meta.put_u64(self.config.seed);
         meta.put_u8(metric_code(self.config.metric));
+        meta.put_u8(self.config.tier.code());
         let mut planes = BinWriter::new();
         for table in &self.tables {
             for plane in &table.hyperplanes {
@@ -311,6 +422,7 @@ impl HyperplaneLsh<'static> {
             probes: meta.get_usize()?,
             seed: meta.get_u64()?,
             metric: metric_from_code(meta.get_u8()?)?,
+            tier: tier_from_code(meta.get_u8()?)?,
         };
         if !(1..=64).contains(&config.planes) || config.tables < 1 {
             return Err(corrupt(format!(

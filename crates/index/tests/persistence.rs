@@ -214,3 +214,137 @@ fn serialization_is_byte_deterministic() {
         ExactIndex::build(&vs).to_bytes()
     );
 }
+
+// ---------------------------------------------------------------------------
+// Quantized scans and kernel tiers through the ERBF container (PR 7): the
+// scan config, the int8 codes and the PQ codebook all persist as their own
+// checksummed sections; corruption anywhere surfaces as a typed error.
+// ---------------------------------------------------------------------------
+
+use er_core::pq::PqConfig;
+use er_core::KernelTier;
+use er_index::{Quantization, ScanConfig};
+
+fn pq8() -> PqConfig {
+    PqConfig {
+        subspaces: 4,
+        centroids: 16,
+        iters: 3,
+        seed: 5,
+    }
+}
+
+/// Every scan configuration worth persisting, over an 8-d corpus.
+fn scan_configs() -> Vec<ScanConfig> {
+    let mut out = Vec::new();
+    for tier in [KernelTier::Reference, KernelTier::Lanes] {
+        for quant in [
+            Quantization::None,
+            Quantization::Int8 { rerank: 12 },
+            Quantization::Pq {
+                config: pq8(),
+                rerank: 12,
+            },
+        ] {
+            out.push(ScanConfig { tier, quant });
+        }
+    }
+    out
+}
+
+#[test]
+fn quantized_and_tiered_indices_round_trip_bit_identically() {
+    let vs = vectors(30, 8, 41);
+    let queries = vectors(6, 8, 42);
+    for metric in [Metric::Euclidean, Metric::Cosine] {
+        for scan in scan_configs() {
+            let mut index = ExactIndex::from_source_scan(vs.as_slice(), metric, scan).unwrap();
+            index.delete_row(3);
+            index.delete_row(17);
+            let back = ExactIndex::from_bytes(&index.to_bytes()).unwrap();
+            assert_eq!(back.scan_config(), scan, "scan config lost in transit");
+            assert_eq!(back.live_count(), index.live_count());
+            assert_same_hits(&index, &back, &queries, 5);
+            // Byte determinism extends to the new sections.
+            assert_eq!(index.to_bytes(), back.to_bytes());
+        }
+    }
+}
+
+#[test]
+fn k_larger_than_rows_is_fine_in_every_scan_config() {
+    let vs = vectors(7, 8, 43);
+    for scan in scan_configs() {
+        let index = ExactIndex::from_source_scan(vs.as_slice(), Metric::Cosine, scan).unwrap();
+        let hits = index.search(&vs[0], 50);
+        assert_eq!(hits.len(), 7, "{scan:?}");
+        assert!(index.search(&vs[0], 0).is_empty());
+    }
+}
+
+proptest! {
+    /// A flipped bit anywhere in a quantized file — including inside the
+    /// QUANT / CODEBOOK / PQ_CODES sections — fails typed, never panics.
+    fn flipped_bit_in_quantized_sections_fails_typed(
+        pos_frac in 0.0f64..1.0,
+        bit in 0..8u32,
+        pick in 0..2usize,
+    ) {
+        let vs = vectors(12, 8, 44);
+        let scan = [
+            ScanConfig { tier: KernelTier::Lanes, quant: Quantization::Int8 { rerank: 6 } },
+            ScanConfig { tier: KernelTier::Reference, quant: Quantization::Pq { config: pq8(), rerank: 6 } },
+        ][pick];
+        let mut bytes = ExactIndex::from_source_scan(vs.as_slice(), Metric::Cosine, scan)
+            .unwrap()
+            .to_bytes();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        assert!(matches!(
+            ExactIndex::from_bytes(&bytes),
+            Err(ErError::Corrupt(_))
+        ));
+    }
+
+    /// Truncating a quantized file anywhere fails typed.
+    fn truncated_quantized_file_fails_typed(cut_frac in 0.0f64..1.0) {
+        let vs = vectors(12, 8, 45);
+        let scan = ScanConfig {
+            tier: KernelTier::Lanes,
+            quant: Quantization::Pq { config: pq8(), rerank: 6 },
+        };
+        let bytes = ExactIndex::from_source_scan(vs.as_slice(), Metric::Cosine, scan)
+            .unwrap()
+            .to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            assert!(matches!(
+                ExactIndex::from_bytes(&bytes[..cut]),
+                Err(ErError::Corrupt(_))
+            ));
+        }
+    }
+}
+
+#[test]
+fn quantized_round_trip_after_streaming_inserts() {
+    // Inserts keep the quantized companion storage in sync; the persisted
+    // file must reflect the post-insert state exactly.
+    let vs = vectors(10, 8, 46);
+    let extra = vectors(5, 8, 47);
+    let scan = ScanConfig {
+        tier: KernelTier::Lanes,
+        quant: Quantization::Int8 { rerank: 8 },
+    };
+    let mut index = ExactIndex::from_source_scan(vs.as_slice(), Metric::Cosine, scan).unwrap();
+    for e in &extra {
+        index.insert_row(e.as_slice()).unwrap();
+    }
+    index.delete_row(2);
+    let back = ExactIndex::from_bytes(&index.to_bytes()).unwrap();
+    assert_eq!(back.len(), 15);
+    assert_eq!(back.live_count(), 14);
+    let queries = vectors(4, 8, 48);
+    assert_same_hits(&index, &back, &queries, 6);
+    assert_eq!(index.to_bytes(), back.to_bytes());
+}

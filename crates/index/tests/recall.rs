@@ -89,6 +89,7 @@ fn lsh_recall_improves_monotonically_with_table_count() {
                 probes: 1,
                 metric: Metric::Cosine,
                 seed: 42,
+                ..LshConfig::default()
             },
         );
         let recall = recall_at_k(&lsh, &vectors, &queries, Metric::Cosine, 10);

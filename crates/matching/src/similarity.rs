@@ -10,27 +10,47 @@
 //! Before the kernel module, cosine/dot lived once here and once in
 //! `er-index`; these wrappers are now the only er-matching entry points.
 
-use er_core::kernels;
+use er_core::kernels::KernelTier;
 use er_core::Embedding;
 use er_text::tokenize;
 use std::collections::BTreeSet;
 
 /// Dot product of two embedding vectors (unbounded; a raw model-space
-/// feature). Delegates to [`kernels::dot`].
+/// feature). The `Reference` tier of [`dot_tier`].
 pub fn dot(a: &Embedding, b: &Embedding) -> f32 {
-    kernels::dot(a.as_slice(), b.as_slice())
+    dot_tier(KernelTier::Reference, a, b)
+}
+
+/// Dot product on an explicit kernel tier. Every er-matching embedding
+/// similarity routes through [`KernelTier`] — there is no private scalar
+/// fold in this crate — so a matcher configured with the same tier as the
+/// blocker scores candidates with the bit-identical kernel that ranked
+/// them.
+pub fn dot_tier(tier: KernelTier, a: &Embedding, b: &Embedding) -> f32 {
+    tier.dot(a.as_slice(), b.as_slice())
 }
 
 /// Cosine similarity in `[-1, 1]`; zero vectors score 0.0, matching the
 /// convention of `Embedding::cosine` and `Metric::Cosine` exactly (all
-/// three call [`kernels::cosine`]).
+/// three run the same `Reference`-tier kernel).
 pub fn cosine(a: &Embedding, b: &Embedding) -> f32 {
-    kernels::cosine(a.as_slice(), b.as_slice())
+    cosine_tier(KernelTier::Reference, a, b)
+}
+
+/// Cosine similarity on an explicit kernel tier; the zero-vector → 0.0
+/// convention holds in every tier.
+pub fn cosine_tier(tier: KernelTier, a: &Embedding, b: &Embedding) -> f32 {
+    tier.cosine(a.as_slice(), b.as_slice())
 }
 
 /// Slice form of [`cosine`], for [`er_core::EmbeddingMatrix`] rows.
 pub fn cosine_slices(a: &[f32], b: &[f32]) -> f32 {
-    kernels::cosine(a, b)
+    cosine_slices_tier(KernelTier::Reference, a, b)
+}
+
+/// Slice form of [`cosine_tier`].
+pub fn cosine_slices_tier(tier: KernelTier, a: &[f32], b: &[f32]) -> f32 {
+    tier.cosine(a, b)
 }
 
 /// Token-set Jaccard similarity over normalized word tokens.

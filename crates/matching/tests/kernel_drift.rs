@@ -1,0 +1,130 @@
+//! Cross-crate kernel drift guard (PR 7 satellite): every public distance
+//! entry point — the er-matching similarities, `Embedding`'s methods, the
+//! er-core kernel tiers, and er-index's `Metric` — must agree *bitwise*
+//! when asked for the same quantity on the same tier. One kernel, many
+//! doors; this test fails the moment any door grows a private fold.
+
+use er_core::kernels::KernelTier;
+use er_core::Embedding;
+use er_index::Metric;
+use er_matching::similarity;
+use rand::Rng;
+
+const TIERS: [KernelTier; 2] = [KernelTier::Reference, KernelTier::Lanes];
+
+fn random_embeddings(n: usize, dim: usize, seed: u64) -> Vec<Embedding> {
+    let mut r = er_core::rng::rng(seed);
+    (0..n)
+        .map(|_| Embedding((0..dim).map(|_| r.gen_range(-2.0..2.0)).collect()))
+        .collect()
+}
+
+#[test]
+fn every_public_dot_entry_point_agrees_bitwise_per_tier() {
+    // Dims straddle the 8-lane boundary on purpose.
+    for dim in [7usize, 8, 19, 32] {
+        let vs = random_embeddings(6, dim, 0xd01f + dim as u64);
+        for a in &vs {
+            for b in &vs {
+                for tier in TIERS {
+                    let want = tier.dot(a.as_slice(), b.as_slice());
+                    assert_eq!(
+                        similarity::dot_tier(tier, a, b).to_bits(),
+                        want.to_bits(),
+                        "er-matching dot_tier drifted ({tier:?}, dim {dim})"
+                    );
+                }
+                // The tierless doors are all the Reference tier.
+                let want = KernelTier::Reference.dot(a.as_slice(), b.as_slice());
+                assert_eq!(similarity::dot(a, b).to_bits(), want.to_bits());
+                assert_eq!(a.dot(b).to_bits(), want.to_bits());
+                assert_eq!(
+                    er_core::kernels::dot(a.as_slice(), b.as_slice()).to_bits(),
+                    want.to_bits()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_public_cosine_entry_point_agrees_bitwise_per_tier() {
+    for dim in [7usize, 8, 19, 32] {
+        let vs = random_embeddings(6, dim, 0xc0 + dim as u64);
+        for a in &vs {
+            for b in &vs {
+                for tier in TIERS {
+                    let want = tier.cosine(a.as_slice(), b.as_slice());
+                    assert_eq!(
+                        similarity::cosine_tier(tier, a, b).to_bits(),
+                        want.to_bits(),
+                        "er-matching cosine_tier drifted ({tier:?}, dim {dim})"
+                    );
+                    assert_eq!(
+                        similarity::cosine_slices_tier(tier, a.as_slice(), b.as_slice()).to_bits(),
+                        want.to_bits()
+                    );
+                    // Metric::Cosine is `1 − cosine` on the same tier, and
+                    // its prenorm fast path takes the tier's own norms.
+                    assert_eq!(
+                        Metric::Cosine
+                            .distance_slices_tier(tier, a.as_slice(), b.as_slice())
+                            .to_bits(),
+                        (1.0 - want).to_bits(),
+                        "Metric::Cosine drifted ({tier:?}, dim {dim})"
+                    );
+                    let (na, nb) = (tier.norm(a.as_slice()), tier.norm(b.as_slice()));
+                    assert_eq!(
+                        Metric::Cosine
+                            .distance_prenorm_tier(tier, a.as_slice(), na, b.as_slice(), nb)
+                            .to_bits(),
+                        (1.0 - want).to_bits()
+                    );
+                }
+                let want = KernelTier::Reference.cosine(a.as_slice(), b.as_slice());
+                assert_eq!(similarity::cosine(a, b).to_bits(), want.to_bits());
+                assert_eq!(a.cosine(b).to_bits(), want.to_bits());
+                assert_eq!(
+                    Metric::Cosine.distance(a, b).to_bits(),
+                    (1.0 - want).to_bits()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn euclidean_metric_routes_through_the_tier_squared_euclidean() {
+    for dim in [7usize, 9, 24] {
+        let vs = random_embeddings(5, dim, 0xe0c + dim as u64);
+        for a in &vs {
+            for b in &vs {
+                for tier in TIERS {
+                    let want = tier.squared_euclidean(a.as_slice(), b.as_slice());
+                    assert_eq!(
+                        Metric::Euclidean
+                            .distance_slices_tier(tier, a.as_slice(), b.as_slice())
+                            .to_bits(),
+                        want.to_bits(),
+                        "Metric::Euclidean drifted ({tier:?}, dim {dim})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_vectors_score_cosine_zero_through_every_door() {
+    let z = Embedding(vec![0.0; 12]);
+    let v = Embedding((0..12).map(|i| i as f32 - 5.0).collect());
+    for tier in TIERS {
+        assert_eq!(similarity::cosine_tier(tier, &z, &v), 0.0);
+        assert_eq!(
+            Metric::Cosine.distance_slices_tier(tier, z.as_slice(), v.as_slice()),
+            1.0
+        );
+    }
+    assert_eq!(similarity::cosine(&z, &v), 0.0);
+    assert_eq!(z.cosine(&v), 0.0);
+}

@@ -20,6 +20,7 @@ use er_blocking::BlockerBackend;
 use er_core::binary::{self, kind, BinReader, BinWriter};
 use er_core::{Embedding, Entity, EntityId, ErError, Result, SerializationMode};
 use er_embed::LanguageModel;
+use er_index::ScanConfig;
 use std::path::Path;
 
 mod tag {
@@ -36,6 +37,11 @@ pub struct ServeConfig {
     /// including the seed, which is safe because shards hold disjoint
     /// records.
     pub backend: BlockerBackend,
+    /// Kernel tier / quantization for Exact-backend shards. Int8 is
+    /// per-row (shard-invariant) and tracks streaming inserts; PQ is
+    /// rejected at construction — it needs a trained codebook and the
+    /// service starts empty.
+    pub scan: ScanConfig,
 }
 
 impl ServeConfig {
@@ -54,6 +60,12 @@ impl ServeConfig {
         self.backend = backend;
         self
     }
+
+    /// Choose the Exact backend's kernel tier / quantization.
+    pub fn scan(mut self, scan: ScanConfig) -> ServeConfig {
+        self.scan = scan;
+        self
+    }
 }
 
 impl Default for ServeConfig {
@@ -61,6 +73,7 @@ impl Default for ServeConfig {
         ServeConfig {
             shards: 4,
             backend: BlockerBackend::default(),
+            scan: ScanConfig::default(),
         }
     }
 }
@@ -94,17 +107,25 @@ pub struct Resolver<'m> {
 
 impl<'m> Resolver<'m> {
     /// An empty resolver: `config.shards` empty indices sized to the
-    /// model's embedding dimension.
+    /// model's embedding dimension. Errors (typed [`ErError::Model`]) for
+    /// zero shards or a scan config the service cannot honour — PQ
+    /// quantization (needs a trained codebook, the service starts empty)
+    /// or quantization on a non-Exact backend.
     pub fn new(
         model: &'m dyn LanguageModel,
         mode: SerializationMode,
         config: ServeConfig,
-    ) -> Resolver<'m> {
-        Resolver {
+    ) -> Result<Resolver<'m>> {
+        Ok(Resolver {
             model,
             mode,
-            index: ShardedIndex::new(model.dim(), config.shards, config.backend),
-        }
+            index: ShardedIndex::with_scan(
+                model.dim(),
+                config.shards,
+                config.backend,
+                config.scan,
+            )?,
+        })
     }
 
     /// Embed an entity exactly as the batch pipeline would: serialize

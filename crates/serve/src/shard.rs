@@ -21,7 +21,7 @@ use er_core::binary::{self, fnv1a64, kind};
 use er_core::{EmbeddingMatrix, EntityId, ErError, Result};
 use er_index::{
     ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex, Neighbor,
-    NnIndex,
+    NnIndex, Quantization, ScanConfig,
 };
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap};
@@ -37,22 +37,57 @@ pub enum AnyIndex {
 }
 
 impl AnyIndex {
-    /// An empty index of the given backend over `dim`-component vectors.
+    /// An empty index of the given backend over `dim`-component vectors,
+    /// with the default scan (Reference kernels, no quantization).
     ///
     /// Every shard is built from the same backend config — including the
     /// seed, which is safe because shards hold disjoint records, so no
     /// cross-shard draw ever compares two streams.
     pub fn empty(backend: &BlockerBackend, dim: usize) -> AnyIndex {
+        AnyIndex::empty_scan(backend, dim, ScanConfig::default())
+            .expect("the default scan config cannot fail")
+    }
+
+    /// [`AnyIndex::empty`] with an explicit [`ScanConfig`] for the Exact
+    /// backend. Errors (typed [`ErError::Model`]) for scan configs the
+    /// streaming service cannot honour: PQ needs a trained codebook but
+    /// the service starts empty (use `Int8` or `None`), and quantized
+    /// scans only apply to the Exact backend (HNSW and LSH carry their
+    /// own kernel `tier` in their configs).
+    pub fn empty_scan(backend: &BlockerBackend, dim: usize, scan: ScanConfig) -> Result<AnyIndex> {
+        if matches!(scan.quant, Quantization::Pq { .. }) {
+            return Err(ErError::Model(
+                "er-serve: PQ quantization needs a trained codebook, but the \
+                 streaming service starts empty — use Int8 or None"
+                    .into(),
+            ));
+        }
         let matrix = EmbeddingMatrix::new(dim);
         match backend {
-            BlockerBackend::Exact(metric) => {
-                AnyIndex::Exact(ExactIndex::from_source(matrix, *metric))
-            }
+            BlockerBackend::Exact(metric) => Ok(AnyIndex::Exact(ExactIndex::from_source_scan(
+                matrix, *metric, scan,
+            )?)),
             BlockerBackend::Hnsw(config) => {
-                AnyIndex::Hnsw(HnswIndex::from_source(matrix, config.clone()))
+                if scan.quant != Quantization::None {
+                    return Err(ErError::Model(
+                        "er-serve: quantized scans require the Exact backend".into(),
+                    ));
+                }
+                Ok(AnyIndex::Hnsw(HnswIndex::from_source(
+                    matrix,
+                    config.clone(),
+                )))
             }
             BlockerBackend::Lsh(config) => {
-                AnyIndex::Lsh(HyperplaneLsh::from_source(matrix, config.clone()))
+                if scan.quant != Quantization::None {
+                    return Err(ErError::Model(
+                        "er-serve: quantized scans require the Exact backend".into(),
+                    ));
+                }
+                Ok(AnyIndex::Lsh(HyperplaneLsh::from_source(
+                    matrix,
+                    config.clone(),
+                )))
             }
         }
     }
@@ -162,12 +197,12 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    fn new(backend: &BlockerBackend, dim: usize) -> Shard {
-        Shard {
-            index: AnyIndex::empty(backend, dim),
+    fn new(backend: &BlockerBackend, dim: usize, scan: ScanConfig) -> Result<Shard> {
+        Ok(Shard {
+            index: AnyIndex::empty_scan(backend, dim, scan)?,
             ids: Vec::new(),
             rows: HashMap::new(),
-        }
+        })
     }
 
     /// Rebuild the live-id map from the insertion history + tombstones —
@@ -259,14 +294,33 @@ pub struct ShardedIndex {
 
 impl ShardedIndex {
     /// `shards` empty indices of the given backend over `dim`-component
-    /// vectors.
+    /// vectors, with the default scan (Reference kernels, no quantization).
     pub fn new(dim: usize, shards: usize, backend: BlockerBackend) -> ShardedIndex {
         assert!(shards >= 1, "need at least one shard");
-        ShardedIndex {
-            shards: (0..shards).map(|_| Shard::new(&backend, dim)).collect(),
+        ShardedIndex::with_scan(dim, shards, backend, ScanConfig::default())
+            .expect("the default scan config cannot fail")
+    }
+
+    /// [`ShardedIndex::new`] with an explicit [`ScanConfig`]. Errors
+    /// (typed [`ErError::Model`]) for zero shards or a scan config the
+    /// service cannot honour (see [`AnyIndex::empty_scan`]).
+    pub fn with_scan(
+        dim: usize,
+        shards: usize,
+        backend: BlockerBackend,
+        scan: ScanConfig,
+    ) -> Result<ShardedIndex> {
+        if shards == 0 {
+            return Err(ErError::Model("need at least one shard".into()));
+        }
+        let shards = (0..shards)
+            .map(|_| Shard::new(&backend, dim, scan))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedIndex {
+            shards,
             backend,
             dim,
-        }
+        })
     }
 
     pub(crate) fn from_shards(shards: Vec<Shard>, dim: usize) -> Result<ShardedIndex> {

@@ -63,7 +63,8 @@ fn streaming_insert_then_query_finds_the_record() {
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new(),
-    );
+    )
+    .unwrap();
     assert!(resolver.is_empty());
     assert!(resolver.query_text("anything", 5).is_empty());
 
@@ -93,7 +94,8 @@ fn delete_and_upsert_between_queries() {
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new().shards(3),
-    );
+    )
+    .unwrap();
     for id in 0..20u32 {
         resolver
             .insert(&entity(id, &format!("record number {id}")))
@@ -189,7 +191,8 @@ fn resolver_round_trips_through_bytes_and_files() {
             &model,
             SerializationMode::SchemaAgnostic,
             ServeConfig::new().shards(3).backend(backend),
-        );
+        )
+        .unwrap();
         for id in 0..30u32 {
             resolver
                 .insert(&entity(id, &format!("streamed record {id}")))
@@ -230,7 +233,8 @@ fn resolver_round_trips_through_bytes_and_files() {
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new(),
-    );
+    )
+    .unwrap();
     resolver.insert(&entity(1, "only record")).unwrap();
     resolver.save(&path).unwrap();
     let back = Resolver::load(&path, &model).unwrap();
@@ -248,7 +252,8 @@ fn loading_rejects_wrong_models_and_corrupt_bytes() {
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new(),
-    );
+    )
+    .unwrap();
     resolver.insert(&entity(1, "a record")).unwrap();
     let bytes = resolver.to_bytes();
 
@@ -287,7 +292,8 @@ fn all_deleted_shards_return_empty_not_panic() {
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new().shards(4),
-    );
+    )
+    .unwrap();
     for id in 0..12u32 {
         resolver.insert(&entity(id, &format!("r{id}"))).unwrap();
     }
@@ -309,7 +315,7 @@ fn all_deleted_shards_return_empty_not_panic() {
 fn schema_based_mode_round_trips() {
     let model = TrigramModel { dim: 24 };
     let mode = SerializationMode::SchemaBased("title".into());
-    let mut resolver = Resolver::new(&model, mode.clone(), ServeConfig::new());
+    let mut resolver = Resolver::new(&model, mode.clone(), ServeConfig::new()).unwrap();
     let e = Entity::new(
         EntityId(5),
         vec![
@@ -324,4 +330,109 @@ fn schema_based_mode_round_trips() {
         back.query_text("the load-bearing attribute", 1),
         resolver.query_text("the load-bearing attribute", 1)
     );
+}
+
+// ---------------------------------------------------------------------------
+// Quantized scans in the streaming service (PR 7): int8 tracks streaming
+// inserts per-row, PQ is rejected up front, and the quantized service
+// persists through the same ERBF container.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn int8_service_with_full_rerank_matches_the_f32_service_bitwise() {
+    use er_core::pq::PqConfig;
+    use er_core::KernelTier;
+    use er_index::{Quantization, ScanConfig};
+
+    let model = TrigramModel { dim: 24 };
+    let names = [
+        "golden palace hotel athens",
+        "hotel golden palace, athens",
+        "blue lagoon resort crete",
+        "lagoon blue resort, crete",
+        "white tower suites thessaloniki",
+        "acropolis view rooms",
+    ];
+    // Same tier on both sides: the int8 pass only *selects* candidates,
+    // and with the re-rank budget covering every row the selection is
+    // total, so the exact re-rank must reproduce the f32 scan bitwise.
+    let tier = KernelTier::Lanes;
+    let mut plain = Resolver::new(
+        &model,
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new()
+            .shards(2)
+            .backend(BlockerBackend::Exact(Metric::Cosine))
+            .scan(ScanConfig::with_tier(tier)),
+    )
+    .unwrap();
+    let mut quantized = Resolver::new(
+        &model,
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new()
+            .shards(2)
+            .backend(BlockerBackend::Exact(Metric::Cosine))
+            .scan(ScanConfig {
+                tier,
+                quant: Quantization::Int8 { rerank: 100 },
+            }),
+    )
+    .unwrap();
+    for (i, name) in names.iter().enumerate() {
+        plain.insert(&entity(i as u32, name)).unwrap();
+        quantized.insert(&entity(i as u32, name)).unwrap();
+    }
+    // Mutations keep the int8 companion storage in sync.
+    plain.delete(EntityId(2));
+    quantized.delete(EntityId(2));
+    plain.upsert(&entity(3, "renamed lagoon resort")).unwrap();
+    quantized
+        .upsert(&entity(3, "renamed lagoon resort"))
+        .unwrap();
+
+    for probe in ["golden palace", "resort crete", "acropolis"] {
+        let a = plain.query_text(probe, 4);
+        let b = quantized.query_text(probe, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id, "probe {probe:?}: candidate diverged");
+            assert_eq!(
+                x.distance.to_bits(),
+                y.distance.to_bits(),
+                "probe {probe:?}: re-ranked distance is not the f32 distance"
+            );
+        }
+    }
+
+    // The quantized service round-trips through bytes like any other.
+    let bytes = quantized.to_bytes();
+    let back = Resolver::from_bytes(&bytes, &model).unwrap();
+    assert_eq!(back.len(), quantized.len());
+    for probe in ["golden palace", "resort crete"] {
+        let a = quantized.query_text(probe, 3);
+        let b = back.query_text(probe, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+        }
+    }
+    assert_eq!(back.to_bytes(), bytes);
+
+    // PQ needs a trained codebook; the empty streaming service refuses it
+    // with a typed error instead of training on nothing.
+    let err = Resolver::new(
+        &model,
+        SerializationMode::SchemaAgnostic,
+        ServeConfig::new()
+            .backend(BlockerBackend::Exact(Metric::Cosine))
+            .scan(ScanConfig {
+                tier: KernelTier::Reference,
+                quant: Quantization::Pq {
+                    config: PqConfig::default(),
+                    rerank: 10,
+                },
+            }),
+    );
+    assert!(matches!(err, Err(ErError::Model(_))));
 }

@@ -48,17 +48,18 @@ pub mod prelude {
         dedup_candidates, dedup_scored, top_k_blocking, top_k_blocking_matrix,
         top_k_blocking_scored_matrix, BlockerBackend, TopKConfig,
     };
+    pub use er_core::pq::PqConfig;
     pub use er_core::rng::rng;
     pub use er_core::{
         sort_by_id_pair, sort_by_score_desc, Embedding, EmbeddingMatrix, Entity, EntityId, ErError,
-        GroundTruth, Result, ScoredPair, SerializationMode,
+        GroundTruth, KernelTier, Result, ScoredPair, SerializationMode,
     };
     pub use er_datasets::{CleanCleanDataset, DatasetId, DatasetProfile};
     pub use er_embed::{AnyModel, LanguageModel, ModelCode, ModelZoo, ZooConfig};
     pub use er_eval::{pearson, Metrics, StageReport};
     pub use er_index::{
         ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex,
-        Neighbor, NnIndex,
+        Neighbor, NnIndex, Quantization, ScanConfig,
     };
     pub use er_matching::{
         best_match_clustering, connected_components_clustering, kiraly_clustering,

@@ -281,6 +281,7 @@ mod tests {
             k: 3,
             backend: BlockerBackend::Exact(Metric::Cosine),
             dirty: false,
+            ..TopKConfig::default()
         };
         let outcome = Pipeline::new(model.as_ref(), mode.clone()).block(&left, &right, &config);
         let legacy = crate::block(model.as_ref(), &left, &right, &mode, &config);
@@ -309,6 +310,7 @@ mod tests {
             k: 2,
             backend: BlockerBackend::Exact(Metric::Cosine),
             dirty: true,
+            ..TopKConfig::default()
         };
         let pipeline = Pipeline::new(model.as_ref(), mode.clone());
         let outcome = pipeline.block(&collection, &collection, &config);

@@ -31,6 +31,7 @@ fn d1_config() -> TopKConfig {
             ..HnswConfig::default()
         }),
         dirty: false,
+        ..TopKConfig::default()
     }
 }
 

@@ -126,7 +126,8 @@ fn resolver_persistence_and_serialization_are_byte_deterministic_on_d1() {
             model.as_ref(),
             SerializationMode::SchemaAgnostic,
             ServeConfig::new().shards(3),
-        );
+        )
+        .unwrap();
         for e in &ds.right {
             resolver.insert(e).unwrap();
         }
