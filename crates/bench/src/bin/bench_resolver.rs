@@ -2,26 +2,43 @@
 //! machine-readable `BENCH_resolver.json` snapshot the ROADMAP's per-PR
 //! perf trajectory starts from.
 //!
-//! Three phases over a tiny-zoo FT model and synthetic entities:
+//! Four phases over a tiny-zoo FT model and synthetic entities:
 //!
 //! 1. **insert** — stream `N` fresh records into an empty service;
 //! 2. **query-under-churn** — top-10 queries interleaved 1:1 with
-//!    upsert/delete mutations against the live service;
-//! 3. **save/load** — full `to_bytes` → `from_bytes` round trips of the
+//!    upsert/delete mutations against the live service, single-threaded;
+//! 3. **concurrent-query-under-churn** — the snapshot-swap headline:
+//!    reader threads run top-10 queries flat out against published
+//!    snapshots while one writer thread churns mutations concurrently;
+//! 4. **save/load** — full `to_bytes` → `from_bytes` round trips of the
 //!    populated service.
 //!
 //! Each phase reports wall-clock and ops/sec. Run from the workspace root
 //! (`cargo run --release -p er-bench --bin bench_resolver`); pass a path
 //! argument to redirect the JSON (default `BENCH_resolver.json`).
+//!
+//! `--check <path>` — no timing: parse an existing snapshot and fail if a
+//! phase is missing or carries non-positive numbers, so the committed
+//! snapshot cannot silently go stale as phases are added.
 
 use embeddings4er::prelude::*;
 use er_bench::SEED;
 use er_core::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 const RECORDS: usize = 1_500;
 const CHURN_OPS: usize = 600;
+const CONCURRENT_READERS: usize = 3;
 const ROUND_TRIPS: usize = 20;
+
+/// Every phase a complete snapshot must report.
+const PHASES: [&str; 4] = [
+    "insert",
+    "query_under_churn",
+    "concurrent_query_under_churn",
+    "save_load",
+];
 
 fn entity(id: u32) -> Entity {
     Entity::new(
@@ -46,13 +63,76 @@ fn phase(name: &str, ops: usize, wall_s: f64) -> Json {
     ])
 }
 
+/// `--check` mode: parse a committed snapshot and verify it is complete —
+/// every phase present with positive throughput.
+fn check(path: &str) -> std::result::Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let bench = doc
+        .expect("bench")
+        .and_then(|j| j.as_str().map(str::to_owned))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if bench != "resolver" {
+        return Err(format!("{path}: bench is {bench:?}, expected \"resolver\""));
+    }
+    let phases = doc
+        .expect("phases")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut seen = Vec::new();
+    for p in phases {
+        let name = p
+            .expect("phase")
+            .and_then(|j| j.as_str().map(str::to_owned))
+            .map_err(|e| format!("{path}: phase name: {e}"))?;
+        let ops = p
+            .expect("ops")
+            .and_then(Json::as_usize)
+            .map_err(|e| format!("{path}: {name} ops: {e}"))?;
+        let rate = p
+            .expect("ops_per_sec")
+            .and_then(Json::as_f32)
+            .map_err(|e| format!("{path}: {name} ops_per_sec: {e}"))?;
+        if ops == 0 || rate.is_nan() || rate <= 0.0 {
+            return Err(format!(
+                "{path}: phase {name} has non-positive numbers (ops={ops}, rate={rate})"
+            ));
+        }
+        seen.push(name);
+    }
+    for required in PHASES {
+        if !seen.iter().any(|n| n == required) {
+            return Err(format!("{path}: missing phase {required}"));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_resolver.json");
+        match check(path) {
+            Ok(()) => {
+                println!("{path}: complete resolver snapshot (all phases present)");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_resolver.json".into());
     let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), SEED);
     let model = zoo.get(ModelCode::FT);
-    let mut resolver = Resolver::new(
+    let resolver = Resolver::new(
         model.as_ref(),
         SerializationMode::SchemaAgnostic,
         ServeConfig::new().shards(4),
@@ -67,9 +147,10 @@ fn main() {
     let insert_wall = start.elapsed().as_secs_f64();
     assert_eq!(resolver.len(), RECORDS);
 
-    // Phase 2: queries interleaved 1:1 with mutations. Each iteration is
-    // one top-10 query plus one churn op (upsert an existing id, or
-    // delete + re-insert), so the index never goes quiet while serving.
+    // Phase 2: queries interleaved 1:1 with mutations on one thread. Each
+    // iteration is one top-10 query plus one churn op (upsert an existing
+    // id, or delete + re-insert), so the index never goes quiet while
+    // serving.
     let start = Instant::now();
     let mut live_hits = 0usize;
     for i in 0..CHURN_OPS as u32 {
@@ -79,14 +160,68 @@ fn main() {
         if i % 2 == 0 {
             resolver.upsert(&entity(victim.0)).unwrap();
         } else {
-            resolver.delete(victim);
+            resolver.delete(victim).expect("journal-free delete");
             resolver.insert(&entity(victim.0)).unwrap();
         }
     }
     let churn_wall = start.elapsed().as_secs_f64();
     assert!(live_hits > 0, "queries under churn returned nothing");
 
-    // Phase 3: whole-service persistence round trips.
+    // Phase 3: concurrent query-under-churn — the snapshot-swap headline.
+    // Reader threads query published snapshots flat out (never blocking on
+    // the writer); one writer thread runs the same churn mix concurrently.
+    // Probe embeddings are precomputed so the phase times the serve path,
+    // not the embedding.
+    let probes: Vec<Embedding> = (0..64u32)
+        .map(|i| resolver.embed(&entity(i * 11)))
+        .collect();
+    let queries_done = AtomicUsize::new(0);
+    let writer_done = AtomicBool::new(false);
+    let concurrent_hits = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..CHURN_OPS as u32 {
+                let victim = EntityId((i * 13) % RECORDS as u32);
+                if i % 2 == 0 {
+                    resolver.upsert(&entity(victim.0)).unwrap();
+                } else {
+                    resolver.delete(victim).expect("journal-free delete");
+                    resolver.insert(&entity(victim.0)).unwrap();
+                }
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+        for reader in 0..CONCURRENT_READERS {
+            let probes = &probes;
+            let resolver = &resolver;
+            let queries_done = &queries_done;
+            let writer_done = &writer_done;
+            let concurrent_hits = &concurrent_hits;
+            scope.spawn(move || {
+                let mut i = reader;
+                let mut hits = 0usize;
+                let mut queries = 0usize;
+                while queries == 0 || !writer_done.load(Ordering::Acquire) {
+                    hits += resolver
+                        .query_embedding(&probes[i % probes.len()], 10)
+                        .len();
+                    queries += 1;
+                    i += 1;
+                }
+                queries_done.fetch_add(queries, Ordering::Relaxed);
+                concurrent_hits.fetch_add(hits, Ordering::Relaxed);
+            });
+        }
+    });
+    let concurrent_wall = start.elapsed().as_secs_f64();
+    let concurrent_ops = queries_done.load(Ordering::Relaxed) + CHURN_OPS;
+    assert!(
+        concurrent_hits.load(Ordering::Relaxed) > 0,
+        "concurrent queries returned nothing"
+    );
+
+    // Phase 4: whole-service persistence round trips.
     let start = Instant::now();
     let mut bytes = Vec::new();
     for _ in 0..ROUND_TRIPS {
@@ -102,6 +237,10 @@ fn main() {
         ("records".into(), Json::from_usize(RECORDS)),
         ("dim".into(), Json::from_usize(model.dim())),
         ("shards".into(), Json::from_usize(4)),
+        (
+            "concurrent_readers".into(),
+            Json::from_usize(CONCURRENT_READERS),
+        ),
         ("snapshot_bytes".into(), Json::from_usize(bytes.len())),
         (
             "phases".into(),
@@ -109,6 +248,11 @@ fn main() {
                 phase("insert", RECORDS, insert_wall),
                 // A churn iteration is one query + one mutation = 2 ops.
                 phase("query_under_churn", CHURN_OPS * 2, churn_wall),
+                phase(
+                    "concurrent_query_under_churn",
+                    concurrent_ops,
+                    concurrent_wall,
+                ),
                 phase("save_load", ROUND_TRIPS, persist_wall),
             ]),
         ),

@@ -9,13 +9,15 @@
 //! ```text
 //! file    := header payload
 //! header  := magic(4 = "ERBF") version(u16) kind(u16)
-//!            section_count(u32) payload_len(u64) checksum(u64)
+//!            section_count(u32) epoch(u64) payload_len(u64) checksum(u64)
 //! payload := section*
 //! section := tag(u32) len(u64) bytes[len]
 //! ```
 //!
-//! Everything is **little-endian**; `checksum` is FNV-1a 64 over the raw
-//! payload bytes, so a flipped bit anywhere in the file fails loudly with
+//! Everything is **little-endian**; `checksum` is FNV-1a 64 over the
+//! epoch field followed by the raw payload bytes (the epoch drives replay
+//! decisions, so it gets the same bit-flip protection as the data), so a
+//! flipped bit anywhere in the file fails loudly with
 //! [`ErError::Corrupt`] instead of reconstituting a silently wrong index.
 //! `kind` names what the payload is (matrix, HNSW graph, resolver, …) so a
 //! file saved as one artifact can never be loaded as another; `version` is
@@ -27,6 +29,12 @@
 //! `f32::from_le_bytes`, bit-for-bit — a load never re-derives what the
 //! build already computed (see [`matrix_from_reader`], which trusts the
 //! stored norms instead of calling `kernels::norm` again).
+//!
+//! `epoch` is the **journal epoch**: a counter the serving layer bumps on
+//! every checkpoint so a save file and the write-ahead journals beside it
+//! (see [`crate::journal`]) compose deterministically — a journal tail is
+//! replayed over a loaded container only when their epochs agree.
+//! Artifacts that never journal write epoch `0`.
 
 use crate::pq::{PqCodebook, PqCodes};
 use crate::quant::QuantizedMatrix;
@@ -35,7 +43,11 @@ use crate::{EmbeddingMatrix, ErError, Result};
 /// File magic: "ER Binary Format".
 pub const MAGIC: [u8; 4] = *b"ERBF";
 /// Container layout version; bump on any incompatible change.
-pub const VERSION: u16 = 1;
+/// Version 2 widened the header with the journal-epoch field.
+pub const VERSION: u16 = 2;
+/// Fixed header size in bytes (magic + version + kind + section_count +
+/// epoch + payload_len + checksum).
+pub const HEADER_LEN: usize = 36;
 
 /// `kind` values of the artifacts persisted across the workspace. Kept in
 /// one place so two crates can never claim the same kind byte.
@@ -295,22 +307,31 @@ impl<'a> BinReader<'a> {
     }
 }
 
-/// Assemble a complete file: checksummed header + the given `(tag, bytes)`
-/// sections in order.
+/// Assemble a complete file at epoch 0: checksummed header + the given
+/// `(tag, bytes)` sections in order. Artifacts that never journal use this.
 pub fn write_container(kind: u16, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    write_container_epoch(kind, 0, sections)
+}
+
+/// Assemble a complete file stamped with a journal epoch.
+pub fn write_container_epoch(kind: u16, epoch: u64, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
     let mut payload = Vec::new();
     for (tag, bytes) in sections {
         payload.extend_from_slice(&tag.to_le_bytes());
         payload.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
         payload.extend_from_slice(bytes);
     }
-    let mut out = Vec::with_capacity(28 + payload.len());
+    let mut summed = Vec::with_capacity(8 + payload.len());
+    summed.extend_from_slice(&epoch.to_le_bytes());
+    summed.extend_from_slice(&payload);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&kind.to_le_bytes());
     out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&summed).to_le_bytes());
     out.extend_from_slice(&payload);
     out
 }
@@ -319,9 +340,9 @@ pub fn write_container(kind: u16, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
 /// holding a nested blob (e.g. one resolver shard) dispatches to the right
 /// index decoder.
 pub fn peek_kind(bytes: &[u8]) -> Result<u16> {
-    if bytes.len() < 28 {
+    if bytes.len() < HEADER_LEN {
         return Err(corrupt(format!(
-            "header needs 28 bytes, got {}",
+            "header needs {HEADER_LEN} bytes, got {}",
             bytes.len()
         )));
     }
@@ -332,11 +353,22 @@ pub fn peek_kind(bytes: &[u8]) -> Result<u16> {
 }
 
 /// Validate the header (magic, version, kind, length, checksum) and return
-/// the payload sections as `(tag, bytes)` in file order.
+/// the payload sections as `(tag, bytes)` in file order, discarding the
+/// journal epoch.
 pub fn read_container(bytes: &[u8], expect_kind: u16) -> Result<Vec<(u32, &[u8])>> {
-    if bytes.len() < 28 {
+    read_container_epoch(bytes, expect_kind).map(|(_, sections)| sections)
+}
+
+/// The payload sections of a container as `(tag, bytes)` in file order.
+pub type Sections<'a> = Vec<(u32, &'a [u8])>;
+
+/// Validate the header (magic, version, kind, length, checksum) and return
+/// the journal epoch plus the payload sections as `(tag, bytes)` in file
+/// order.
+pub fn read_container_epoch(bytes: &[u8], expect_kind: u16) -> Result<(u64, Sections<'_>)> {
+    if bytes.len() < HEADER_LEN {
         return Err(corrupt(format!(
-            "header needs 28 bytes, got {}",
+            "header needs {HEADER_LEN} bytes, got {}",
             bytes.len()
         )));
     }
@@ -356,16 +388,20 @@ pub fn read_container(bytes: &[u8], expect_kind: u16) -> Result<Vec<(u32, &[u8])
         )));
     }
     let section_count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
-    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
-    let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
-    let payload = &bytes[28..];
+    let epoch = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes")) as usize;
+    let checksum = u64::from_le_bytes(bytes[28..36].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
     if payload.len() != payload_len {
         return Err(corrupt(format!(
             "payload is {} bytes, header declares {payload_len}",
             payload.len()
         )));
     }
-    if fnv1a64(payload) != checksum {
+    let mut summed = Vec::with_capacity(8 + payload.len());
+    summed.extend_from_slice(&epoch.to_le_bytes());
+    summed.extend_from_slice(payload);
+    if fnv1a64(&summed) != checksum {
         return Err(corrupt("payload checksum mismatch"));
     }
     let mut sections = Vec::with_capacity(section_count);
@@ -381,7 +417,7 @@ pub fn read_container(bytes: &[u8], expect_kind: u16) -> Result<Vec<(u32, &[u8])
             reader.remaining()
         )));
     }
-    Ok(sections)
+    Ok((epoch, sections))
 }
 
 /// The section of a container with the given tag, or a typed error naming
@@ -583,6 +619,21 @@ mod tests {
                 "truncation at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn epoch_round_trips_and_defaults_to_zero() {
+        let sections = vec![(1u32, vec![5u8, 6])];
+        let stamped = write_container_epoch(kind::RESOLVER, 42, &sections);
+        let (epoch, back) = read_container_epoch(&stamped, kind::RESOLVER).unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(back[0], (1, &[5u8, 6][..]));
+        // The epoch-less writer stamps 0, and the epoch-less reader accepts
+        // any epoch (it only discards it).
+        let plain = write_container(kind::RESOLVER, &sections);
+        let (epoch, _) = read_container_epoch(&plain, kind::RESOLVER).unwrap();
+        assert_eq!(epoch, 0);
+        assert!(read_container(&stamped, kind::RESOLVER).is_ok());
     }
 
     #[test]

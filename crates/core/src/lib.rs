@@ -8,12 +8,15 @@
 //! evaluation primitives ([`GroundTruth`], [`ScoredPair`]), the workspace
 //! error type ([`ErError`]), a portable seeded RNG ([`rng::rng`]), a
 //! dependency-free JSON reader/writer ([`json`]) used for model persistence,
-//! and the checksummed little-endian binary container ([`binary`]) the
-//! serving path persists matrices, indices and resolvers with.
+//! the checksummed little-endian binary container ([`binary`]) the
+//! serving path persists matrices, indices and resolvers with, and the
+//! write-ahead journal record codec ([`journal`]) that makes serving
+//! mutations crash-durable between checkpoints.
 
 pub mod binary;
 pub mod entity;
 pub mod error;
+pub mod journal;
 pub mod json;
 pub mod kernels;
 pub mod matrix;
@@ -26,6 +29,7 @@ pub use entity::{
     SerializationMode,
 };
 pub use error::{ErError, Result};
+pub use journal::{JournalContents, JournalHeader, JournalRecord};
 pub use kernels::KernelTier;
 pub use matrix::{EmbeddingMatrix, VectorSource, VectorStore};
 pub use pq::{PqCodebook, PqCodes, PqConfig};

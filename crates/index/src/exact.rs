@@ -11,7 +11,7 @@
 //! exact distances, so with `R ≥` live rows the output is bit-identical to
 //! the pure exact scan.
 
-use crate::{Metric, MutableIndex, Neighbor, NnIndex};
+use crate::{IndexReader, Metric, MutableIndex, Neighbor, NnIndex};
 use er_core::pq::{PqCodebook, PqCodes, PqConfig};
 use er_core::quant::QuantizedMatrix;
 use er_core::{Embedding, EmbeddingMatrix, ErError, KernelTier, VectorSource, VectorStore};
@@ -315,6 +315,16 @@ impl NnIndex for ExactIndex<'_> {
     }
 }
 
+impl IndexReader for ExactIndex<'_> {
+    fn is_deleted(&self, index: usize) -> bool {
+        self.deleted.get(index).copied().unwrap_or(false)
+    }
+
+    fn live_count(&self) -> usize {
+        self.store.len() - self.deleted_count
+    }
+}
+
 impl MutableIndex for ExactIndex<'_> {
     fn insert_row(&mut self, row: &[f32]) -> er_core::Result<usize> {
         let matrix = self.store.matrix_mut().ok_or_else(|| {
@@ -361,12 +371,63 @@ impl MutableIndex for ExactIndex<'_> {
         true
     }
 
-    fn is_deleted(&self, index: usize) -> bool {
-        self.deleted.get(index).copied().unwrap_or(false)
-    }
-
-    fn live_count(&self) -> usize {
-        self.store.len() - self.deleted_count
+    /// Float-free compaction: live rows, their cached norms, and any
+    /// quantized companion codes are copied verbatim in stable order, so
+    /// every distance the compacted index computes is bit-identical to the
+    /// tombstoned original's.
+    fn compact(&mut self) -> er_core::Result<Vec<u32>> {
+        let keep: Vec<u32> = (0..self.store.len())
+            .filter(|&i| !self.deleted[i])
+            .map(|i| i as u32)
+            .collect();
+        if self.deleted_count == 0 {
+            return Ok(keep);
+        }
+        {
+            let matrix = self.store.matrix_mut().ok_or_else(|| {
+                ErError::Model(
+                    "ExactIndex::compact: the index borrows its matrix; \
+                     compaction needs an owned store"
+                        .into(),
+                )
+            })?;
+            let dim = matrix.dim();
+            let mut data = Vec::with_capacity(keep.len() * dim);
+            let mut norms = Vec::with_capacity(keep.len());
+            for &old in &keep {
+                data.extend_from_slice(matrix.row(old as usize));
+                norms.push(matrix.norm(old as usize));
+            }
+            *matrix = EmbeddingMatrix::from_parts(dim, data, norms)?;
+        }
+        match &mut self.quant {
+            QuantState::None => {}
+            QuantState::Int8(qm) => {
+                let dim = qm.dim();
+                let mut codes = Vec::with_capacity(keep.len() * dim);
+                let mut scales = Vec::with_capacity(keep.len());
+                let mut zeros = Vec::with_capacity(keep.len());
+                for &old in &keep {
+                    let o = old as usize;
+                    codes.extend_from_slice(&qm.codes()[o * dim..(o + 1) * dim]);
+                    scales.push(qm.scales()[o]);
+                    zeros.push(qm.zeros()[o]);
+                }
+                *qm = QuantizedMatrix::from_parts(dim, codes, scales, zeros)?;
+            }
+            QuantState::Pq { book, codes } => {
+                let m = book.subspaces();
+                let mut kept = Vec::with_capacity(keep.len() * m);
+                for &old in &keep {
+                    let o = old as usize;
+                    kept.extend_from_slice(&codes.codes()[o * m..(o + 1) * m]);
+                }
+                *codes = PqCodes::from_parts(book, kept)?;
+            }
+        }
+        self.deleted = vec![false; keep.len()];
+        self.deleted_count = 0;
+        Ok(keep)
     }
 }
 

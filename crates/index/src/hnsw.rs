@@ -27,7 +27,7 @@
 //! Deletions are tombstones: the node keeps its id and its links (it still
 //! routes searches through the graph) but is masked out of results.
 
-use crate::{Metric, MutableIndex, Neighbor, NnIndex};
+use crate::{IndexReader, Metric, MutableIndex, Neighbor, NnIndex};
 use er_core::rng::{derive, DetRng};
 use er_core::{Embedding, EmbeddingMatrix, ErError, VectorSource, VectorStore};
 use rand::Rng;
@@ -500,6 +500,16 @@ impl NnIndex for HnswIndex<'_> {
     }
 }
 
+impl IndexReader for HnswIndex<'_> {
+    fn is_deleted(&self, index: usize) -> bool {
+        self.deleted.get(index).copied().unwrap_or(false)
+    }
+
+    fn live_count(&self) -> usize {
+        self.store.len() - self.deleted_count
+    }
+}
+
 impl MutableIndex for HnswIndex<'_> {
     fn insert_row(&mut self, row: &[f32]) -> er_core::Result<usize> {
         let matrix = self.store.matrix_mut().ok_or_else(|| {
@@ -538,12 +548,47 @@ impl MutableIndex for HnswIndex<'_> {
         true
     }
 
-    fn is_deleted(&self, index: usize) -> bool {
-        self.deleted.get(index).copied().unwrap_or(false)
-    }
-
-    fn live_count(&self) -> usize {
-        self.store.len() - self.deleted_count
+    /// Compaction rebuilds the graph from scratch over the live rows — and
+    /// because the batch build *is* the incremental insert loop, the result
+    /// is bit-identical to a fresh `from_source` build over the live rows
+    /// in stable order (the level stream restarts from `config.seed` and is
+    /// left positioned after one draw per live row, so later `insert_row`
+    /// calls continue exactly like inserts into that fresh build). Row
+    /// floats and their cached norms are copied verbatim.
+    fn compact(&mut self) -> er_core::Result<Vec<u32>> {
+        let keep: Vec<u32> = (0..self.store.len())
+            .filter(|&i| !self.deleted[i])
+            .map(|i| i as u32)
+            .collect();
+        if self.deleted_count == 0 {
+            return Ok(keep);
+        }
+        let live = {
+            let matrix = self.store.matrix_mut().ok_or_else(|| {
+                ErError::Model(
+                    "HnswIndex::compact: the index borrows its matrix; \
+                     compaction needs an owned store"
+                        .into(),
+                )
+            })?;
+            let dim = matrix.dim();
+            let mut data = Vec::with_capacity(keep.len() * dim);
+            let mut norms = Vec::with_capacity(keep.len());
+            for &old in &keep {
+                data.extend_from_slice(matrix.row(old as usize));
+                norms.push(matrix.norm(old as usize));
+            }
+            EmbeddingMatrix::from_parts(dim, data, norms)?
+        };
+        let rebuilt = HnswIndex::from_source(live, self.config.clone());
+        self.store = rebuilt.store;
+        self.neighbors = rebuilt.neighbors;
+        self.entry = rebuilt.entry;
+        self.max_level = rebuilt.max_level;
+        self.level_rng = rebuilt.level_rng;
+        self.deleted = rebuilt.deleted;
+        self.deleted_count = 0;
+        Ok(keep)
     }
 }
 

@@ -6,6 +6,10 @@
 //! [`Metric`]. IVF-Flat (row 11b) and cross-polytope LSH arrive with the
 //! engine-ablation PR behind the same trait.
 //!
+//! Mutation is layered: [`IndexReader`] is the immutable view concurrent
+//! readers share, [`MutableIndex`] the writer handle with insert, delete
+//! and tombstone-reclaiming [`MutableIndex::compact`].
+//!
 //! Storage is columnar: every index holds an [`er_core::VectorStore`] —
 //! either an [`er_core::EmbeddingMatrix`] it owns (the legacy
 //! `Vec<Embedding>` constructors copy once into one) or a matrix it
@@ -47,14 +51,29 @@ impl Neighbor {
     }
 }
 
-/// Streaming mutation on top of [`NnIndex`] — the `er-serve` contract.
+/// The immutable, shareable view of a mutable index — everything a
+/// concurrent reader needs on top of [`NnIndex`] searches. `er-serve` hands
+/// `Arc`-wrapped snapshots implementing this to reader threads while a
+/// writer prepares the next snapshot behind their backs.
 ///
 /// Row ids are **stable**: a deleted row keeps its id (and, for HNSW, its
 /// graph links, which still route searches); it is merely masked out of
 /// every result set. [`NnIndex::len`] keeps counting *stored* rows;
-/// [`MutableIndex::live_count`] counts the searchable ones, and a search
+/// [`IndexReader::live_count`] counts the searchable ones, and a search
 /// with `k > live_count` truncates cleanly instead of surfacing tombstones.
-pub trait MutableIndex: NnIndex {
+pub trait IndexReader: NnIndex {
+    /// Whether `index` is tombstoned (out-of-range ids are not).
+    fn is_deleted(&self, index: usize) -> bool;
+
+    /// Stored rows minus tombstones — the most hits any search can return.
+    fn live_count(&self) -> usize;
+}
+
+/// The writer handle on top of [`IndexReader`] — the `er-serve` mutation
+/// contract. Only the owner of an index (in the serving layer: the shard
+/// writer, holding the shard's write lock) sees these methods; readers hold
+/// snapshots typed as [`IndexReader`] and can never mutate.
+pub trait MutableIndex: IndexReader {
     /// Append one vector, returning its new row id.
     ///
     /// Fails if the index *borrows* its matrix (zero-copy stores stay
@@ -69,11 +88,18 @@ pub trait MutableIndex: NnIndex {
     /// already deleted. Deleted rows never appear in search results.
     fn delete_row(&mut self, index: usize) -> bool;
 
-    /// Whether `index` is tombstoned (out-of-range ids are not).
-    fn is_deleted(&self, index: usize) -> bool;
-
-    /// Stored rows minus tombstones — the most hits any search can return.
-    fn live_count(&self) -> usize;
+    /// Rebuild the index without its tombstoned rows, preserving the
+    /// relative order of live rows, and return the new→old row mapping
+    /// (`map[new_row] == old_row`; the identity when nothing was deleted).
+    ///
+    /// Live top-k answers are unaffected: exact and LSH backends copy every
+    /// float and signature verbatim, and the HNSW rebuild reuses the
+    /// incremental insert path so the compacted graph is bit-identical to a
+    /// fresh batch build over the live rows in order. Compacting an index
+    /// with no tombstones (including an empty one) is a no-op that still
+    /// returns the identity mapping. Fails like [`MutableIndex::insert_row`]
+    /// when the index borrows its matrix.
+    fn compact(&mut self) -> er_core::Result<Vec<u32>>;
 }
 
 /// A nearest-neighbour index over a fixed set of embeddings. Searches

@@ -15,7 +15,7 @@
 //! follow it, which makes recall provably non-decreasing in `tables` for a
 //! fixed seed (the candidate union only grows).
 
-use crate::{Metric, MutableIndex, Neighbor, NnIndex};
+use crate::{IndexReader, Metric, MutableIndex, Neighbor, NnIndex};
 use er_core::rng::derive;
 use er_core::{Embedding, EmbeddingMatrix, ErError, KernelTier, VectorSource, VectorStore};
 use rand::{Rng, RngCore};
@@ -285,6 +285,16 @@ impl NnIndex for HyperplaneLsh<'_> {
     }
 }
 
+impl IndexReader for HyperplaneLsh<'_> {
+    fn is_deleted(&self, index: usize) -> bool {
+        self.deleted.get(index).copied().unwrap_or(false)
+    }
+
+    fn live_count(&self) -> usize {
+        self.store.len() - self.deleted_count
+    }
+}
+
 impl MutableIndex for HyperplaneLsh<'_> {
     fn insert_row(&mut self, row: &[f32]) -> er_core::Result<usize> {
         let matrix = self.store.matrix_mut().ok_or_else(|| {
@@ -325,12 +335,46 @@ impl MutableIndex for HyperplaneLsh<'_> {
         true
     }
 
-    fn is_deleted(&self, index: usize) -> bool {
-        self.deleted.get(index).copied().unwrap_or(false)
-    }
-
-    fn live_count(&self) -> usize {
-        self.store.len() - self.deleted_count
+    /// Float-free compaction: the hyperplanes are untouched, live rows
+    /// (with their cached norms) and their stored signatures are copied
+    /// verbatim in stable order, and the buckets are rebuilt from the kept
+    /// signatures — no dot product is ever recomputed, so candidate sets
+    /// and re-ranked distances stay bit-identical.
+    fn compact(&mut self) -> er_core::Result<Vec<u32>> {
+        let keep: Vec<u32> = (0..self.store.len())
+            .filter(|&i| !self.deleted[i])
+            .map(|i| i as u32)
+            .collect();
+        if self.deleted_count == 0 {
+            return Ok(keep);
+        }
+        {
+            let matrix = self.store.matrix_mut().ok_or_else(|| {
+                ErError::Model(
+                    "HyperplaneLsh::compact: the index borrows its matrix; \
+                     compaction needs an owned store"
+                        .into(),
+                )
+            })?;
+            let dim = matrix.dim();
+            let mut data = Vec::with_capacity(keep.len() * dim);
+            let mut norms = Vec::with_capacity(keep.len());
+            for &old in &keep {
+                data.extend_from_slice(matrix.row(old as usize));
+                norms.push(matrix.norm(old as usize));
+            }
+            *matrix = EmbeddingMatrix::from_parts(dim, data, norms)?;
+        }
+        for table in &mut self.tables {
+            table.signatures = keep
+                .iter()
+                .map(|&old| table.signatures[old as usize])
+                .collect();
+            table.rebuild_buckets();
+        }
+        self.deleted = vec![false; keep.len()];
+        self.deleted_count = 0;
+        Ok(keep)
     }
 }
 

@@ -480,7 +480,8 @@ impl HyperplaneLsh<'static> {
 #[cfg(test)]
 mod tests {
     use crate::{
-        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex, NnIndex,
+        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, IndexReader, LshConfig, Metric,
+        MutableIndex, NnIndex,
     };
     use er_core::binary::{self, kind};
     use er_core::{Embedding, ErError};

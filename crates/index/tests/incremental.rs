@@ -6,7 +6,8 @@
 
 use er_core::{Embedding, EmbeddingMatrix, ErError};
 use er_index::{
-    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex, NnIndex,
+    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, IndexReader, LshConfig, Metric, MutableIndex,
+    NnIndex,
 };
 use rand::Rng;
 

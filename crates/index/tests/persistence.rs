@@ -5,7 +5,8 @@
 
 use er_core::{Embedding, ErError};
 use er_index::{
-    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex, NnIndex,
+    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, IndexReader, LshConfig, Metric, MutableIndex,
+    NnIndex,
 };
 use proptest::prelude::*;
 use rand::Rng;

@@ -9,30 +9,46 @@
 //!
 //! * [`Resolver`] — the service type: streaming [`Resolver::insert`] /
 //!   [`Resolver::upsert`] / [`Resolver::delete`] of [`er_core::Entity`]
-//!   records, with top-k queries legal at any point between mutations.
-//!   Embedding runs through the same `LanguageModel` + serialization mode
-//!   the batch pipeline uses, so a record embeds bit-identically on both
-//!   paths.
+//!   records (all `&self` — mutations and queries may run concurrently),
+//!   with top-k queries legal at any point. Embedding runs through the
+//!   same `LanguageModel` + serialization mode the batch pipeline uses,
+//!   so a record embeds bit-identically on both paths.
 //! * [`ShardedIndex`] — the vector-level half: N hash-routed shards
 //!   (FNV-1a over the entity id) of any `er_index` backend, queried
 //!   scatter-gather with a `BinaryHeap` k-way merge that preserves the
 //!   `(distance, id)` total order. An N-shard exact search is
 //!   bit-identical to a single exact index over the same records.
-//! * Persistence — [`Resolver::save`] / [`Resolver::load`] write one
-//!   checksummed `er_core::binary` container embedding each shard's own
-//!   index container, so a service restarts without re-embedding or
-//!   re-building graphs.
+//! * Snapshot-swap concurrency — each shard publishes an immutable
+//!   [`SegmentSnapshot`] readers pin with one `Arc` clone; the writer
+//!   mutates a standby copy and swaps it in, so queries never block
+//!   writes and never observe a half-applied mutation (`crate::snapshot`
+//!   has the full contract).
+//! * Durability — [`Resolver::open`] binds the service to a directory:
+//!   every committed mutation is appended to a per-shard write-ahead
+//!   journal (`er_core::journal` layout) before it is applied, and
+//!   [`Resolver::checkpoint`] folds the journals into an atomic
+//!   epoch-stamped ERBF save. Crash recovery replays exactly the
+//!   committed journal prefix. [`Resolver::save`] / [`Resolver::load`]
+//!   remain as journal-free point-in-time exports.
+//! * Compaction — tombstoned rows are reclaimed automatically once a
+//!   shard crosses its [`CompactionPolicy`] threshold (or manually via
+//!   [`Resolver::compact`]), with live top-k answers unchanged;
+//!   [`ShardStats`] reports live/tombstoned/journal depth per shard.
 //!
 //! Incremental index mutation itself (HNSW streaming insertion that is
-//! bit-identical to batch construction, tombstone-masked search) lives in
-//! `er_index::MutableIndex`; this crate composes it with routing,
-//! merging, and the entity/embedding layer.
+//! bit-identical to batch construction, tombstone-masked search,
+//! order-preserving `compact`) lives in `er_index::MutableIndex`; this
+//! crate composes it with routing, merging, journaling, and the
+//! entity/embedding layer.
 
 pub mod resolver;
 pub mod shard;
+pub mod snapshot;
+mod wal;
 
 pub use resolver::{Resolver, ServeConfig};
-pub use shard::{AnyIndex, ShardedIndex};
+pub use shard::{search_snapshots, AnyIndex, ShardedIndex};
+pub use snapshot::{CompactionPolicy, SegmentSnapshot, ShardStats};
 
 use er_core::EntityId;
 

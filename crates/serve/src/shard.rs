@@ -1,11 +1,19 @@
-//! Hash-sharded vector storage with scatter-gather top-k queries.
+//! Hash-sharded vector storage with snapshot-swap concurrency and
+//! scatter-gather top-k queries.
 //!
 //! [`ShardedIndex`] fronts N independent [`er_index::MutableIndex`]
 //! backends. Records are routed to a shard by an FNV-1a hash of their
-//! [`EntityId`] (stable across runs and across save/load), every shard
-//! answers a query independently — fanned out over scoped threads, the
-//! same pool discipline as `NnIndex::search_batch` — and the per-shard
-//! top-k lists are combined by a `BinaryHeap` k-way merge.
+//! [`EntityId`] (stable across runs and across save/load).
+//!
+//! **Snapshot-swap**: each shard keeps two [`SegmentSnapshot`]s — a
+//! *published* side that readers clone an `Arc` of (the only reader lock is
+//! the clone itself) and a *standby* side owned by the writer. A mutation
+//! catches the standby up from the op backlog, probes for no-ops, appends
+//! to the write-ahead journal (if attached), applies to the standby, and
+//! swaps the sides. Readers never block writers and never observe a
+//! half-applied op; a query runs against whatever snapshot was committed
+//! when it started. Lock order is always writer → published, so the paths
+//! cannot deadlock.
 //!
 //! **Merge contract**: hits are globally ordered by
 //! `(distance.total_cmp, EntityId)`. Each shard's list is put into that
@@ -15,16 +23,20 @@
 //! would — sharding never changes exact results, only distributes them
 //! (pinned by the equivalence suite).
 
+use crate::snapshot::{CompactionPolicy, SegmentSnapshot, ShardStats, WriteOp};
+use crate::wal::JournalWriter;
 use crate::Hit;
 use er_blocking::BlockerBackend;
 use er_core::binary::{self, fnv1a64, kind};
+use er_core::journal::JournalRecord;
 use er_core::{EmbeddingMatrix, EntityId, ErError, Result};
 use er_index::{
-    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex, Neighbor,
-    NnIndex, Quantization, ScanConfig,
+    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, IndexReader, LshConfig, Metric, MutableIndex,
+    Neighbor, NnIndex, Quantization, ScanConfig,
 };
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
 
 /// One owned index of any backend — the per-shard storage. All three
 /// variants share the [`MutableIndex`] mutation surface and the binary
@@ -150,23 +162,7 @@ impl NnIndex for AnyIndex {
     }
 }
 
-impl MutableIndex for AnyIndex {
-    fn insert_row(&mut self, row: &[f32]) -> Result<usize> {
-        match self {
-            AnyIndex::Exact(i) => i.insert_row(row),
-            AnyIndex::Hnsw(i) => i.insert_row(row),
-            AnyIndex::Lsh(i) => i.insert_row(row),
-        }
-    }
-
-    fn delete_row(&mut self, index: usize) -> bool {
-        match self {
-            AnyIndex::Exact(i) => i.delete_row(index),
-            AnyIndex::Hnsw(i) => i.delete_row(index),
-            AnyIndex::Lsh(i) => i.delete_row(index),
-        }
-    }
-
+impl IndexReader for AnyIndex {
     fn is_deleted(&self, index: usize) -> bool {
         match self {
             AnyIndex::Exact(i) => i.is_deleted(index),
@@ -184,69 +180,208 @@ impl MutableIndex for AnyIndex {
     }
 }
 
-/// One shard: an index plus the id ↔ row bookkeeping. Rows are append-only
-/// (tombstones, never compaction), so `ids[row]` is the full insertion
-/// history and `rows` maps only the currently-live ids.
-#[derive(Debug, Clone)]
+impl MutableIndex for AnyIndex {
+    fn insert_row(&mut self, row: &[f32]) -> Result<usize> {
+        match self {
+            AnyIndex::Exact(i) => i.insert_row(row),
+            AnyIndex::Hnsw(i) => i.insert_row(row),
+            AnyIndex::Lsh(i) => i.insert_row(row),
+        }
+    }
+
+    fn delete_row(&mut self, index: usize) -> bool {
+        match self {
+            AnyIndex::Exact(i) => i.delete_row(index),
+            AnyIndex::Hnsw(i) => i.delete_row(index),
+            AnyIndex::Lsh(i) => i.delete_row(index),
+        }
+    }
+
+    fn compact(&mut self) -> Result<Vec<u32>> {
+        match self {
+            AnyIndex::Exact(i) => i.compact(),
+            AnyIndex::Hnsw(i) => i.compact(),
+            AnyIndex::Lsh(i) => i.compact(),
+        }
+    }
+}
+
+fn op_to_record(op: &WriteOp) -> Option<JournalRecord> {
+    match op {
+        WriteOp::Insert { id, row } => Some(JournalRecord::Insert {
+            id: id.0,
+            row: row.clone(),
+        }),
+        WriteOp::Upsert { id, row } => Some(JournalRecord::Upsert {
+            id: id.0,
+            row: row.clone(),
+        }),
+        WriteOp::Delete { id } => Some(JournalRecord::Delete { id: id.0 }),
+        // Logically invisible — recovery re-derives any *automatic*
+        // compaction deterministically inside `SegmentSnapshot::apply`,
+        // and a crash merely loses a manual one (an optimization, never
+        // data).
+        WriteOp::Compact => None,
+    }
+}
+
+fn record_to_op(rec: &JournalRecord) -> WriteOp {
+    match rec {
+        JournalRecord::Insert { id, row } => WriteOp::Insert {
+            id: EntityId(*id),
+            row: row.clone(),
+        },
+        JournalRecord::Upsert { id, row } => WriteOp::Upsert {
+            id: EntityId(*id),
+            row: row.clone(),
+        },
+        JournalRecord::Delete { id } => WriteOp::Delete { id: EntityId(*id) },
+    }
+}
+
+/// The writer's half of a shard: the standby snapshot, the ops it is
+/// missing (applied to the published side but not yet here), and the
+/// write-ahead journal.
+#[derive(Debug)]
+struct WriterState {
+    standby: Arc<SegmentSnapshot>,
+    /// Ops applied to the published side since the standby was last caught
+    /// up. At most one publish behind, so this holds at most the ops of
+    /// one commit — drained at the start of the next.
+    backlog: Vec<WriteOp>,
+    journal: Option<JournalWriter>,
+    journal_len: u64,
+}
+
+/// One shard of the serving core: a published snapshot readers clone
+/// lock-free, and a writer side that mutates a standby copy and swaps it
+/// in. See the module docs for the concurrency contract.
+#[derive(Debug)]
 pub(crate) struct Shard {
-    pub(crate) index: AnyIndex,
-    /// Row → the entity id inserted at that row (including tombstoned rows).
-    pub(crate) ids: Vec<EntityId>,
-    /// Live entity id → its row.
-    pub(crate) rows: HashMap<EntityId, usize>,
+    /// The committed snapshot. Readers hold this lock only long enough to
+    /// clone the `Arc`; the writer only long enough to swap two pointers.
+    published: Mutex<Arc<SegmentSnapshot>>,
+    writer: Mutex<WriterState>,
 }
 
 impl Shard {
     fn new(backend: &BlockerBackend, dim: usize, scan: ScanConfig) -> Result<Shard> {
-        Ok(Shard {
-            index: AnyIndex::empty_scan(backend, dim, scan)?,
-            ids: Vec::new(),
-            rows: HashMap::new(),
-        })
+        Ok(Shard::from_snapshot(SegmentSnapshot::from_index(
+            AnyIndex::empty_scan(backend, dim, scan)?,
+        )))
     }
 
-    /// Rebuild the live-id map from the insertion history + tombstones —
-    /// the load path. Fails if the history disagrees with the index (two
-    /// live rows claiming one id, or a row count mismatch).
-    pub(crate) fn from_parts(index: AnyIndex, ids: Vec<EntityId>) -> Result<Shard> {
-        if ids.len() != index.len() {
-            return Err(ErError::Corrupt(format!(
-                "shard id history covers {} rows, index stores {}",
-                ids.len(),
-                index.len()
-            )));
+    pub(crate) fn from_snapshot(snapshot: SegmentSnapshot) -> Shard {
+        let arc = Arc::new(snapshot);
+        Shard {
+            published: Mutex::new(Arc::clone(&arc)),
+            writer: Mutex::new(WriterState {
+                standby: arc,
+                backlog: Vec::new(),
+                journal: None,
+                journal_len: 0,
+            }),
         }
-        let mut rows = HashMap::new();
-        for (row, &id) in ids.iter().enumerate() {
-            if !index.is_deleted(row) && rows.insert(id, row).is_some() {
-                return Err(ErError::Corrupt(format!(
-                    "shard holds two live rows for entity id {}",
-                    id.0
-                )));
+    }
+
+    /// The committed snapshot — the reader entry point. The returned `Arc`
+    /// stays valid (and immutable) for as long as the caller holds it,
+    /// regardless of concurrent writes.
+    pub(crate) fn load(&self) -> Arc<SegmentSnapshot> {
+        Arc::clone(
+            &self
+                .published
+                .lock()
+                .expect("shard published lock poisoned"),
+        )
+    }
+
+    /// Bring the standby up to date with the published side by applying
+    /// the backlog. `Arc::make_mut` clones the payload only when a
+    /// straggler reader still holds the snapshot from two publishes ago.
+    fn catch_up(w: &mut WriterState, policy: &CompactionPolicy) -> Result<()> {
+        if w.backlog.is_empty() {
+            return Ok(());
+        }
+        let backlog = std::mem::take(&mut w.backlog);
+        let standby = Arc::make_mut(&mut w.standby);
+        for op in &backlog {
+            standby.apply(op, policy)?;
+        }
+        Ok(())
+    }
+
+    /// The single mutation path: catch up, probe for no-ops (which are
+    /// neither journaled nor published), journal, apply to the standby,
+    /// swap the sides. `journal: false` is used for replay (the record is
+    /// already on disk) and for manual compaction (never journaled).
+    pub(crate) fn write(
+        &self,
+        op: WriteOp,
+        policy: &CompactionPolicy,
+        journal: bool,
+    ) -> Result<bool> {
+        let mut w = self.writer.lock().expect("shard writer lock poisoned");
+        Shard::catch_up(&mut w, policy)?;
+        // No-op probe on the caught-up standby: an insert of a live id, a
+        // delete of an absent one, or a compaction with nothing to reclaim
+        // changes no state, so it must not reach the journal (replay would
+        // then diverge from the live no-op) or publish a new version.
+        match &op {
+            WriteOp::Insert { id, .. } if w.standby.contains(*id) => return Ok(false),
+            WriteOp::Delete { id } if !w.standby.contains(*id) => return Ok(false),
+            WriteOp::Compact if w.standby.stored() == w.standby.live_count() => return Ok(true),
+            _ => {}
+        }
+        if journal {
+            if let Some(rec) = op_to_record(&op) {
+                if let Some(j) = w.journal.as_mut() {
+                    j.append(&rec)?;
+                    w.journal_len += 1;
+                }
             }
         }
-        Ok(Shard { index, ids, rows })
+        let out = Arc::make_mut(&mut w.standby).apply(&op, policy)?;
+        {
+            let mut slot = self
+                .published
+                .lock()
+                .expect("shard published lock poisoned");
+            std::mem::swap(&mut *slot, &mut w.standby);
+        }
+        w.backlog.push(op);
+        Ok(out)
     }
 
-    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        let mut hits: Vec<Hit> = self
-            .index
-            .search_slice(query, k)
-            .into_iter()
-            .map(|n| Hit {
-                id: self.ids[n.index],
-                distance: n.distance,
-            })
-            .collect();
-        // Re-order by (distance, id): backends tie-break equal distances
-        // on row position, which need not agree with id order — the merge
-        // contract requires id order.
-        hits.sort_by(|a, b| {
-            a.distance
-                .total_cmp(&b.distance)
-                .then_with(|| a.id.0.cmp(&b.id.0))
-        });
-        hits
+    pub(crate) fn stats(&self) -> ShardStats {
+        let snap = self.load();
+        let journal_len = self
+            .writer
+            .lock()
+            .expect("shard writer lock poisoned")
+            .journal_len;
+        let stored = snap.stored();
+        let live = snap.live_count();
+        let tombstoned = stored - live;
+        ShardStats {
+            live,
+            tombstoned,
+            deleted_fraction: if stored == 0 {
+                0.0
+            } else {
+                tombstoned as f32 / stored as f32
+            },
+            journal_len,
+        }
+    }
+
+    /// Attach (or replace) the shard's write-ahead journal. `journal_len`
+    /// is the number of records already committed in the file (non-zero
+    /// when resuming after recovery).
+    pub(crate) fn set_journal(&self, journal: JournalWriter, journal_len: u64) {
+        let mut w = self.writer.lock().expect("shard writer lock poisoned");
+        w.journal = Some(journal);
+        w.journal_len = journal_len;
     }
 }
 
@@ -281,20 +416,75 @@ impl Ord for MergeHead {
     }
 }
 
+/// Scatter-gather top-k over an explicit set of per-shard snapshots: fan
+/// the query out across the shards on scoped threads (one per shard,
+/// mirroring `search_batch`), then k-way merge the per-shard sorted lists
+/// with a `BinaryHeap` that preserves the `(distance, id)` total order.
+///
+/// Public so callers holding a pinned snapshot set (from
+/// [`ShardedIndex::snapshots`]) can re-run queries against exactly that
+/// committed state, regardless of concurrent writes.
+pub fn search_snapshots(snaps: &[Arc<SegmentSnapshot>], query: &[f32], k: usize) -> Vec<Hit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let per_shard: Vec<Vec<Hit>> = if snaps.len() == 1 {
+        vec![snaps[0].search(query, k)]
+    } else {
+        let mut out = Vec::with_capacity(snaps.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = snaps
+                .iter()
+                .map(|snap| scope.spawn(move || snap.search(query, k)))
+                .collect();
+            for handle in handles {
+                out.push(handle.join().expect("shard search worker panicked"));
+            }
+        });
+        out
+    };
+    let mut heap: BinaryHeap<Reverse<MergeHead>> = BinaryHeap::with_capacity(per_shard.len());
+    for (shard, hits) in per_shard.iter().enumerate() {
+        if let Some(&hit) = hits.first() {
+            heap.push(Reverse(MergeHead { hit, shard, pos: 0 }));
+        }
+    }
+    let mut merged = Vec::with_capacity(k);
+    while merged.len() < k {
+        let Some(Reverse(head)) = heap.pop() else {
+            break;
+        };
+        merged.push(head.hit);
+        let next_pos = head.pos + 1;
+        if let Some(&hit) = per_shard[head.shard].get(next_pos) {
+            heap.push(Reverse(MergeHead {
+                hit,
+                shard: head.shard,
+                pos: next_pos,
+            }));
+        }
+    }
+    merged
+}
+
 /// N hash-routed shards behind one `NnIndex`-shaped query surface.
 ///
 /// The vector-level half of the `er-serve` Resolver: callers hand it
-/// `(EntityId, row)` pairs; embedding happens a layer up.
-#[derive(Debug, Clone)]
+/// `(EntityId, row)` pairs; embedding happens a layer up. All mutation
+/// methods take `&self` — each shard serializes its own writes internally
+/// while readers proceed lock-free on published snapshots.
+#[derive(Debug)]
 pub struct ShardedIndex {
     shards: Vec<Shard>,
     backend: BlockerBackend,
     dim: usize,
+    policy: CompactionPolicy,
 }
 
 impl ShardedIndex {
     /// `shards` empty indices of the given backend over `dim`-component
-    /// vectors, with the default scan (Reference kernels, no quantization).
+    /// vectors, with the default scan (Reference kernels, no quantization)
+    /// and the default [`CompactionPolicy`].
     pub fn new(dim: usize, shards: usize, backend: BlockerBackend) -> ShardedIndex {
         assert!(shards >= 1, "need at least one shard");
         ShardedIndex::with_scan(dim, shards, backend, ScanConfig::default())
@@ -310,6 +500,17 @@ impl ShardedIndex {
         backend: BlockerBackend,
         scan: ScanConfig,
     ) -> Result<ShardedIndex> {
+        ShardedIndex::with_options(dim, shards, backend, scan, CompactionPolicy::default())
+    }
+
+    /// The full constructor: explicit scan config and compaction policy.
+    pub fn with_options(
+        dim: usize,
+        shards: usize,
+        backend: BlockerBackend,
+        scan: ScanConfig,
+        policy: CompactionPolicy,
+    ) -> Result<ShardedIndex> {
         if shards == 0 {
             return Err(ErError::Model("need at least one shard".into()));
         }
@@ -320,18 +521,25 @@ impl ShardedIndex {
             shards,
             backend,
             dim,
+            policy,
         })
     }
 
-    pub(crate) fn from_shards(shards: Vec<Shard>, dim: usize) -> Result<ShardedIndex> {
-        let backend = shards
+    /// Rebuild from per-shard snapshots — the load path.
+    pub(crate) fn from_snapshots(
+        snapshots: Vec<SegmentSnapshot>,
+        dim: usize,
+        policy: CompactionPolicy,
+    ) -> Result<ShardedIndex> {
+        let backend = snapshots
             .first()
             .map(|s| s.index.backend())
             .ok_or_else(|| ErError::Corrupt("sharded index with zero shards".into()))?;
         Ok(ShardedIndex {
-            shards,
+            shards: snapshots.into_iter().map(Shard::from_snapshot).collect(),
             backend,
             dim,
+            policy,
         })
     }
 
@@ -348,7 +556,28 @@ impl ShardedIndex {
 
     /// Live rows per shard (the observability hook the bench reports).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.index.live_count()).collect()
+        self.shards.iter().map(|s| s.load().live_count()).collect()
+    }
+
+    /// Per-shard stats: live/tombstoned counts, deleted fraction, and
+    /// journal length since the last checkpoint.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Hash-skew factor: the largest shard's live count over the mean
+    /// (1.0 = perfectly balanced; `1.0` for an empty index). FNV-1a keeps
+    /// this near 1 for uniformly drawn ids; a factor much above ~2 with
+    /// many records signals adversarial or degenerate id patterns.
+    pub fn skew(&self) -> f32 {
+        let sizes = self.shard_sizes();
+        let total: usize = sizes.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f32 / sizes.len() as f32;
+        let max = sizes.iter().copied().max().unwrap_or(0) as f32;
+        max / mean
     }
 
     pub fn backend(&self) -> &BlockerBackend {
@@ -359,105 +588,146 @@ impl ShardedIndex {
         self.dim
     }
 
-    /// Whether `id` is currently live.
-    pub fn contains(&self, id: EntityId) -> bool {
-        self.shards[self.shard_of(id)].rows.contains_key(&id)
+    /// The compaction policy applied after tombstoning ops.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.policy
     }
 
-    /// Insert a new record. Returns `Ok(false)` (and stores nothing) if
-    /// the id is already live — use [`ShardedIndex::upsert`] to replace.
-    pub fn insert(&mut self, id: EntityId, row: &[f32]) -> Result<bool> {
-        let shard_idx = self.shard_of(id);
-        let shard = &mut self.shards[shard_idx];
-        if shard.rows.contains_key(&id) {
-            return Ok(false);
+    /// Whether `id` is currently live (in the latest committed snapshot of
+    /// its shard).
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.shards[self.shard_of(id)].load().contains(id)
+    }
+
+    fn check_dim(&self, row: &[f32]) -> Result<()> {
+        if self.dim != 0 && row.len() != self.dim {
+            return Err(ErError::Model(format!(
+                "er-serve: record has {} components, index stores {}-dim vectors",
+                row.len(),
+                self.dim
+            )));
         }
-        let row_idx = shard.index.insert_row(row)?;
-        debug_assert_eq!(row_idx, shard.ids.len());
-        shard.ids.push(id);
-        shard.rows.insert(id, row_idx);
-        Ok(true)
+        Ok(())
+    }
+
+    /// Insert a new record. Returns `Ok(false)` (and stores, journals,
+    /// and publishes nothing) if the id is already live — use
+    /// [`ShardedIndex::upsert`] to replace.
+    pub fn insert(&self, id: EntityId, row: &[f32]) -> Result<bool> {
+        self.check_dim(row)?;
+        self.shards[self.shard_of(id)].write(
+            WriteOp::Insert {
+                id,
+                row: row.to_vec(),
+            },
+            &self.policy,
+            true,
+        )
     }
 
     /// Insert, replacing any live record with the same id (the old row is
     /// tombstoned first). Returns whether a record was replaced.
-    pub fn upsert(&mut self, id: EntityId, row: &[f32]) -> Result<bool> {
-        let shard_idx = self.shard_of(id);
-        let shard = &mut self.shards[shard_idx];
-        let replaced = match shard.rows.get(&id) {
-            Some(&old_row) => {
-                shard.index.delete_row(old_row);
-                shard.rows.remove(&id);
-                true
-            }
-            None => false,
-        };
-        let row_idx = shard.index.insert_row(row)?;
-        shard.ids.push(id);
-        shard.rows.insert(id, row_idx);
-        Ok(replaced)
+    pub fn upsert(&self, id: EntityId, row: &[f32]) -> Result<bool> {
+        self.check_dim(row)?;
+        self.shards[self.shard_of(id)].write(
+            WriteOp::Upsert {
+                id,
+                row: row.to_vec(),
+            },
+            &self.policy,
+            true,
+        )
     }
 
-    /// Tombstone a record. Returns `false` when the id is not live.
-    pub fn delete(&mut self, id: EntityId) -> bool {
-        let shard_idx = self.shard_of(id);
-        let shard = &mut self.shards[shard_idx];
-        match shard.rows.remove(&id) {
-            Some(row) => shard.index.delete_row(row),
-            None => false,
-        }
+    /// Tombstone a record. Returns `Ok(false)` when the id is not live.
+    /// (Errors are I/O failures appending to the write-ahead journal.)
+    pub fn delete(&self, id: EntityId) -> Result<bool> {
+        self.shards[self.shard_of(id)].write(WriteOp::Delete { id }, &self.policy, true)
     }
 
-    /// Scatter-gather top-k: fan the query out across all shards on
-    /// scoped threads (one per shard, mirroring `search_batch`), then
-    /// k-way merge the per-shard sorted lists with a `BinaryHeap` that
-    /// preserves the `(distance, id)` total order.
-    pub fn search_ids(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        if k == 0 {
-            return Vec::new();
+    /// Manually compact every shard, dropping tombstoned rows. Live top-k
+    /// answers are unchanged. Not journaled: a compaction lost to a crash
+    /// costs storage, never data, and automatic compactions are re-derived
+    /// deterministically during replay.
+    pub fn compact(&self) -> Result<()> {
+        for shard in 0..self.shards.len() {
+            self.compact_shard(shard)?;
         }
-        let per_shard: Vec<Vec<Hit>> = if self.shards.len() == 1 {
-            vec![self.shards[0].search(query, k)]
-        } else {
-            let mut out = Vec::with_capacity(self.shards.len());
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter()
-                    .map(|shard| scope.spawn(move || shard.search(query, k)))
-                    .collect();
-                for handle in handles {
-                    out.push(handle.join().expect("shard search worker panicked"));
-                }
-            });
-            out
-        };
-        let mut heap: BinaryHeap<Reverse<MergeHead>> = BinaryHeap::with_capacity(per_shard.len());
-        for (shard, hits) in per_shard.iter().enumerate() {
-            if let Some(&hit) = hits.first() {
-                heap.push(Reverse(MergeHead { hit, shard, pos: 0 }));
-            }
-        }
-        let mut merged = Vec::with_capacity(k);
-        while merged.len() < k {
-            let Some(Reverse(head)) = heap.pop() else {
-                break;
-            };
-            merged.push(head.hit);
-            let next_pos = head.pos + 1;
-            if let Some(&hit) = per_shard[head.shard].get(next_pos) {
-                heap.push(Reverse(MergeHead {
-                    hit,
-                    shard: head.shard,
-                    pos: next_pos,
-                }));
-            }
-        }
-        merged
+        Ok(())
     }
 
-    pub(crate) fn shards(&self) -> &[Shard] {
-        &self.shards
+    /// Manually compact one shard (see [`ShardedIndex::compact`]).
+    pub fn compact_shard(&self, shard: usize) -> Result<()> {
+        self.shards[shard].write(WriteOp::Compact, &self.policy, false)?;
+        Ok(())
+    }
+
+    /// The latest committed snapshot of every shard. Not mutually
+    /// consistent across shards (each may advance independently), but each
+    /// is individually immutable — pin the set and use
+    /// [`search_snapshots`] for repeatable queries.
+    pub fn snapshots(&self) -> Vec<Arc<SegmentSnapshot>> {
+        self.shards.iter().map(|s| s.load()).collect()
+    }
+
+    /// A mutually consistent snapshot set: all shard writers are held
+    /// while the published sides are read, so no shard can advance
+    /// in between.
+    pub(crate) fn consistent_snapshots(&self) -> Vec<Arc<SegmentSnapshot>> {
+        let _writers: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.writer.lock().expect("shard writer lock poisoned"))
+            .collect();
+        self.shards.iter().map(|s| s.load()).collect()
+    }
+
+    /// Checkpoint: under every shard's writer lock (taken in index order),
+    /// hand the mutually consistent snapshot set to `write` (which
+    /// persists it), then reset all journals to `epoch_next`. Writes are
+    /// blocked for the duration; readers are not.
+    pub(crate) fn checkpoint_with<F>(&self, epoch_next: u64, write: F) -> Result<()>
+    where
+        F: FnOnce(&[Arc<SegmentSnapshot>]) -> Result<()>,
+    {
+        let mut writers: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.writer.lock().expect("shard writer lock poisoned"))
+            .collect();
+        let snaps: Vec<Arc<SegmentSnapshot>> = self.shards.iter().map(|s| s.load()).collect();
+        write(&snaps)?;
+        for (i, w) in writers.iter_mut().enumerate() {
+            if let Some(j) = w.journal.as_mut() {
+                j.reset(i as u32, epoch_next)?;
+                w.journal_len = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-apply journal records to `shard` without re-journaling them —
+    /// the recovery path. Records route-checked against the shard they
+    /// claim to belong to.
+    pub(crate) fn replay(&self, shard: usize, records: &[JournalRecord]) -> Result<()> {
+        for rec in records {
+            let id = EntityId(rec.id());
+            if self.shard_of(id) != shard {
+                return Err(ErError::Corrupt(format!(
+                    "journal for shard {shard} holds a record for entity id {} \
+                     which routes to shard {}",
+                    id.0,
+                    self.shard_of(id)
+                )));
+            }
+            self.shards[shard].write(record_to_op(rec), &self.policy, false)?;
+        }
+        Ok(())
+    }
+
+    /// Attach a write-ahead journal to `shard`. See [`Shard::set_journal`].
+    pub(crate) fn attach_journal(&self, shard: usize, journal: JournalWriter, journal_len: u64) {
+        self.shards[shard].set_journal(journal, journal_len);
     }
 }
 
@@ -466,7 +736,7 @@ impl ShardedIndex {
 /// has no global row space. `len()` counts live records.
 impl NnIndex for ShardedIndex {
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.index.live_count()).sum()
+        self.shards.iter().map(|s| s.load().live_count()).sum()
     }
 
     fn metric(&self) -> Metric {
@@ -478,6 +748,19 @@ impl NnIndex for ShardedIndex {
             .into_iter()
             .map(|h| Neighbor::new(h.id.0 as usize, h.distance))
             .collect()
+    }
+}
+
+impl ShardedIndex {
+    /// Scatter-gather top-k over the latest committed snapshots: see
+    /// [`search_snapshots`]. Each query pins the snapshot set once at the
+    /// start, so concurrent writes cannot tear it.
+    pub fn search_ids(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let snaps = self.snapshots();
+        search_snapshots(&snaps, query, k)
     }
 }
 

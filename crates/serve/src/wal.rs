@@ -1,0 +1,67 @@
+//! File handling for the per-shard write-ahead journal.
+//!
+//! The byte layout (header, length-prefixed FNV-checksummed records) is
+//! owned by [`er_core::journal`]; this module owns the `std::fs` side:
+//! create-with-header, append, resume-after-recovery (truncating any torn
+//! tail so it is never extended), and the checkpoint-time reset that
+//! restarts the file at a new epoch.
+//!
+//! Appends are flushed to the OS on every record, so a committed mutation
+//! survives a process crash; an OS/power crash may lose the tail, which
+//! recovery handles as a torn write (see `er_core::journal`'s commit
+//! rule).
+
+use er_core::journal::{header_to_bytes, record_to_bytes, JournalRecord};
+use er_core::Result;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// An open journal file positioned at its committed end.
+#[derive(Debug)]
+pub(crate) struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Create (or overwrite) the journal with a fresh header.
+    pub(crate) fn create(path: &Path, shard: u32, epoch: u64) -> Result<JournalWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(&header_to_bytes(shard, epoch))?;
+        file.flush()?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopen an existing journal after recovery: truncate to the end of
+    /// the committed prefix (dropping any torn tail) and position appends
+    /// there.
+    pub(crate) fn resume(path: &Path, committed_bytes: u64) -> Result<JournalWriter> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(committed_bytes)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Append one committed record.
+    pub(crate) fn append(&mut self, rec: &JournalRecord) -> Result<()> {
+        self.file.write_all(&record_to_bytes(rec))?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Checkpoint: restart the file with a fresh header at `epoch` (the
+    /// replayable history now lives in the ERBF save).
+    pub(crate) fn reset(&mut self, shard: u32, epoch: u64) -> Result<()> {
+        *self = JournalWriter::create(&self.path, shard, epoch)?;
+        Ok(())
+    }
+}

@@ -59,7 +59,7 @@ fn random_rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
 #[test]
 fn streaming_insert_then_query_finds_the_record() {
     let model = TrigramModel { dim: 24 };
-    let mut resolver = Resolver::new(
+    let resolver = Resolver::new(
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new(),
@@ -90,7 +90,7 @@ fn streaming_insert_then_query_finds_the_record() {
 #[test]
 fn delete_and_upsert_between_queries() {
     let model = TrigramModel { dim: 24 };
-    let mut resolver = Resolver::new(
+    let resolver = Resolver::new(
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new().shards(3),
@@ -105,8 +105,11 @@ fn delete_and_upsert_between_queries() {
     assert!(resolver.contains(EntityId(7)));
 
     // Delete: the id disappears from results immediately.
-    assert!(resolver.delete(EntityId(7)));
-    assert!(!resolver.delete(EntityId(7)), "double delete is a no-op");
+    assert!(resolver.delete(EntityId(7)).unwrap());
+    assert!(
+        !resolver.delete(EntityId(7)).unwrap(),
+        "double delete is a no-op"
+    );
     assert!(!resolver.contains(EntityId(7)));
     assert_eq!(resolver.len(), 19);
     let hits = resolver.query(&entity(99, "record number 7"), 19);
@@ -145,7 +148,7 @@ fn scatter_gather_exact_is_bit_identical_to_single_index() {
         }
         let oracle = ExactIndex::from_source(oracle_matrix, metric);
         for shards in [1usize, 2, 5] {
-            let mut sharded = ShardedIndex::new(dim, shards, BlockerBackend::Exact(metric));
+            let sharded = ShardedIndex::new(dim, shards, BlockerBackend::Exact(metric));
             for (i, row) in rows.iter().enumerate() {
                 assert!(sharded.insert(EntityId(i as u32), row).unwrap());
             }
@@ -187,7 +190,7 @@ fn resolver_round_trips_through_bytes_and_files() {
         }),
         BlockerBackend::Lsh(LshConfig::default()),
     ] {
-        let mut resolver = Resolver::new(
+        let resolver = Resolver::new(
             &model,
             SerializationMode::SchemaAgnostic,
             ServeConfig::new().shards(3).backend(backend),
@@ -198,7 +201,7 @@ fn resolver_round_trips_through_bytes_and_files() {
                 .insert(&entity(id, &format!("streamed record {id}")))
                 .unwrap();
         }
-        resolver.delete(EntityId(4));
+        resolver.delete(EntityId(4)).unwrap();
         resolver
             .upsert(&entity(11, "revised record eleven"))
             .unwrap();
@@ -219,7 +222,7 @@ fn resolver_round_trips_through_bytes_and_files() {
         // Serialization is deterministic, and mutation streams continue
         // identically on both sides of a round trip.
         assert_eq!(bytes, back.to_bytes());
-        let mut back = back;
+        let back = back;
         resolver.insert(&entity(77, "post-reload insert")).unwrap();
         back.insert(&entity(77, "post-reload insert")).unwrap();
         assert_eq!(resolver.to_bytes(), back.to_bytes());
@@ -229,7 +232,7 @@ fn resolver_round_trips_through_bytes_and_files() {
     let dir = std::env::temp_dir().join("er_serve_service_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("resolver.erbf");
-    let mut resolver = Resolver::new(
+    let resolver = Resolver::new(
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new(),
@@ -248,7 +251,7 @@ fn resolver_round_trips_through_bytes_and_files() {
 #[test]
 fn loading_rejects_wrong_models_and_corrupt_bytes() {
     let model = TrigramModel { dim: 24 };
-    let mut resolver = Resolver::new(
+    let resolver = Resolver::new(
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new(),
@@ -288,7 +291,7 @@ fn loading_rejects_wrong_models_and_corrupt_bytes() {
 #[test]
 fn all_deleted_shards_return_empty_not_panic() {
     let model = TrigramModel { dim: 24 };
-    let mut resolver = Resolver::new(
+    let resolver = Resolver::new(
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new().shards(4),
@@ -298,7 +301,7 @@ fn all_deleted_shards_return_empty_not_panic() {
         resolver.insert(&entity(id, &format!("r{id}"))).unwrap();
     }
     for id in 0..12u32 {
-        assert!(resolver.delete(EntityId(id)));
+        assert!(resolver.delete(EntityId(id)).unwrap());
     }
     assert!(resolver.is_empty());
     assert!(resolver.query_text("r3", 5).is_empty());
@@ -315,7 +318,7 @@ fn all_deleted_shards_return_empty_not_panic() {
 fn schema_based_mode_round_trips() {
     let model = TrigramModel { dim: 24 };
     let mode = SerializationMode::SchemaBased("title".into());
-    let mut resolver = Resolver::new(&model, mode.clone(), ServeConfig::new()).unwrap();
+    let resolver = Resolver::new(&model, mode.clone(), ServeConfig::new()).unwrap();
     let e = Entity::new(
         EntityId(5),
         vec![
@@ -357,7 +360,7 @@ fn int8_service_with_full_rerank_matches_the_f32_service_bitwise() {
     // and with the re-rank budget covering every row the selection is
     // total, so the exact re-rank must reproduce the f32 scan bitwise.
     let tier = KernelTier::Lanes;
-    let mut plain = Resolver::new(
+    let plain = Resolver::new(
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new()
@@ -366,7 +369,7 @@ fn int8_service_with_full_rerank_matches_the_f32_service_bitwise() {
             .scan(ScanConfig::with_tier(tier)),
     )
     .unwrap();
-    let mut quantized = Resolver::new(
+    let quantized = Resolver::new(
         &model,
         SerializationMode::SchemaAgnostic,
         ServeConfig::new()
@@ -383,8 +386,8 @@ fn int8_service_with_full_rerank_matches_the_f32_service_bitwise() {
         quantized.insert(&entity(i as u32, name)).unwrap();
     }
     // Mutations keep the int8 companion storage in sync.
-    plain.delete(EntityId(2));
-    quantized.delete(EntityId(2));
+    plain.delete(EntityId(2)).unwrap();
+    quantized.delete(EntityId(2)).unwrap();
     plain.upsert(&entity(3, "renamed lagoon resort")).unwrap();
     quantized
         .upsert(&entity(3, "renamed lagoon resort"))

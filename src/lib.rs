@@ -58,14 +58,16 @@ pub mod prelude {
     pub use er_embed::{AnyModel, LanguageModel, ModelCode, ModelZoo, ZooConfig};
     pub use er_eval::{pearson, Metrics, StageReport};
     pub use er_index::{
-        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, MutableIndex,
-        Neighbor, NnIndex, Quantization, ScanConfig,
+        ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, IndexReader, LshConfig, Metric,
+        MutableIndex, Neighbor, NnIndex, Quantization, ScanConfig,
     };
     pub use er_matching::{
         best_match_clustering, connected_components_clustering, kiraly_clustering,
         unique_mapping_clustering, Clusterer, SweepPoint, ThresholdSweep,
     };
-    pub use er_serve::{Hit, Resolver, ServeConfig, ShardedIndex};
+    pub use er_serve::{
+        CompactionPolicy, Hit, Resolver, SegmentSnapshot, ServeConfig, ShardStats, ShardedIndex,
+    };
     pub use er_text::corpus::synthetic_corpus;
     pub use er_text::{normalize, tokenize, Corpus};
 

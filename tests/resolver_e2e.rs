@@ -98,8 +98,8 @@ fn incremental_hnsw_over_a_shuffled_order_stays_within_the_recall_bound() {
 fn n_shard_exact_resolver_answers_bit_identically_to_one_shard() {
     let (corpus, queries) = d1_embeddings();
     let backend = BlockerBackend::Exact(Metric::Cosine);
-    let mut single = ShardedIndex::new(corpus.dim(), 1, backend.clone());
-    let mut sharded = ShardedIndex::new(corpus.dim(), 5, backend);
+    let single = ShardedIndex::new(corpus.dim(), 1, backend.clone());
+    let sharded = ShardedIndex::new(corpus.dim(), 5, backend);
     for (i, row) in corpus.rows_iter().enumerate() {
         single.insert(EntityId(i as u32), row).unwrap();
         sharded.insert(EntityId(i as u32), row).unwrap();
@@ -122,7 +122,7 @@ fn resolver_persistence_and_serialization_are_byte_deterministic_on_d1() {
     let ds = CleanCleanDataset::generate(DatasetId::D1, 42);
 
     let build = || {
-        let mut resolver = Resolver::new(
+        let resolver = Resolver::new(
             model.as_ref(),
             SerializationMode::SchemaAgnostic,
             ServeConfig::new().shards(3),
