@@ -1,0 +1,159 @@
+//! Autotuning benchmark: run the `er-tune` autotuner over D1/D3/D7,
+//! emitting the machine-readable `BENCH_autotune.json` snapshot — tuning
+//! wall-clock, trials swept, the chosen `OperatingPoint` per dataset, and
+//! the chosen point's estimated-vs-measured distance evaluations.
+//!
+//! Run from the workspace root
+//! (`cargo run --release -p er-bench --bin bench_autotune`); pass a path
+//! argument to redirect the JSON (default `BENCH_autotune.json`).
+//!
+//! `--check <path>` — no tuning: parse an existing snapshot and fail if a
+//! dataset is missing, a chosen point is absent, or any number is
+//! non-positive, so the committed snapshot cannot silently go stale.
+
+use embeddings4er::prelude::*;
+use er_bench::SEED;
+use er_core::json::Json;
+use std::time::Instant;
+
+const DATASETS: [DatasetId; 3] = [DatasetId::D1, DatasetId::D3, DatasetId::D7];
+const RECALL_TARGET: f32 = 0.9;
+
+/// `--check` mode: verify the committed snapshot is complete — every
+/// dataset present with a chosen point, positive wall-clock and trials.
+fn check(path: &str) -> std::result::Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let bench = doc
+        .expect("bench")
+        .and_then(|j| j.as_str().map(str::to_owned))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if bench != "autotune" {
+        return Err(format!("{path}: bench is {bench:?}, expected \"autotune\""));
+    }
+    let runs = doc
+        .expect("datasets")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut seen = Vec::new();
+    for run in runs {
+        let name = run
+            .expect("dataset")
+            .and_then(|j| j.as_str().map(str::to_owned))
+            .map_err(|e| format!("{path}: dataset name: {e}"))?;
+        let wall = run
+            .expect("tune_wall_s")
+            .and_then(Json::as_f32)
+            .map_err(|e| format!("{path}: {name} tune_wall_s: {e}"))?;
+        let trials = run
+            .expect("trials")
+            .and_then(Json::as_usize)
+            .map_err(|e| format!("{path}: {name} trials: {e}"))?;
+        let measured = run
+            .expect("measured_evals_per_query")
+            .and_then(Json::as_f32)
+            .map_err(|e| format!("{path}: {name} measured evals: {e}"))?;
+        if run.get("chosen").is_none() {
+            return Err(format!("{path}: {name} has no chosen point"));
+        }
+        if wall <= 0.0 || trials == 0 || measured <= 0.0 {
+            return Err(format!(
+                "{path}: {name} has non-positive numbers \
+                 (wall={wall}, trials={trials}, measured={measured})"
+            ));
+        }
+        seen.push(name);
+    }
+    for id in DATASETS {
+        let want = format!("{id:?}");
+        if !seen.contains(&want) {
+            return Err(format!("{path}: missing dataset {want}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_autotune.json");
+        match check(path) {
+            Ok(()) => {
+                println!("{path}: complete autotune snapshot (all datasets present)");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_autotune.json".into());
+    let zoo = ModelZoo::pretrain(None, &ZooConfig::tiny(), SEED);
+    let model = zoo.get(ModelCode::FT);
+    let mode = SerializationMode::SchemaAgnostic;
+    let pipeline = Pipeline::new(model.as_ref(), mode);
+    let goal = OperatingPoint::recall_target(RECALL_TARGET).metric(Metric::Cosine);
+    let tuner = TunerConfig::default();
+    let cost_model = CostModel::builtin();
+
+    let mut runs = Vec::new();
+    for id in DATASETS {
+        let ds = CleanCleanDataset::generate(id, SEED);
+        let queries = pipeline.vectorize(&ds.left);
+        let rows = pipeline.vectorize(&ds.right);
+        let start = Instant::now();
+        let outcome = autotune(&queries, &rows, &goal, &tuner, &cost_model).expect("tunes");
+        let wall = start.elapsed().as_secs_f64();
+        let (_, measured_per_query) =
+            measure_point(&queries, &rows, &outcome.chosen).expect("measures");
+        let chosen_trial = outcome.chosen_trial();
+        let chosen_json =
+            Json::parse(&outcome.chosen.to_json()).expect("canonical point JSON parses");
+        println!(
+            "{id:?}: {} trials in {wall:.3}s -> {} ({:.1} est / {measured_per_query:.1} measured evals/query)",
+            outcome.trials.len(),
+            outcome.chosen.to_json(),
+            chosen_trial.est_evals,
+        );
+        runs.push(Json::Obj(vec![
+            ("dataset".into(), Json::from_str_value(&format!("{id:?}"))),
+            ("tune_wall_s".into(), Json::from_f32(wall as f32)),
+            ("trials".into(), Json::from_usize(outcome.trials.len())),
+            ("sample_rows".into(), Json::from_usize(outcome.sample_rows)),
+            (
+                "sample_queries".into(),
+                Json::from_usize(outcome.sample_queries),
+            ),
+            ("chosen".into(), chosen_json),
+            ("proxy_recall".into(), Json::from_f32(chosen_trial.recall)),
+            (
+                "estimated_evals_per_query".into(),
+                Json::from_f32(chosen_trial.est_evals as f32),
+            ),
+            (
+                "measured_evals_per_query".into(),
+                Json::from_f32(measured_per_query as f32),
+            ),
+            (
+                "estimated_ns_per_query".into(),
+                Json::from_f32(chosen_trial.est_ns as f32),
+            ),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::from_str_value("autotune")),
+        ("seed".into(), Json::from_u64(SEED)),
+        ("recall_target".into(), Json::from_f32(RECALL_TARGET)),
+        ("datasets".into(), Json::Arr(runs)),
+    ]);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write snapshot");
+    println!("wrote {out_path}");
+}

@@ -10,7 +10,8 @@
 pub mod topk;
 
 pub use topk::{
-    top_k_blocking, top_k_blocking_matrix, top_k_blocking_scored_matrix, BlockerBackend, TopKConfig,
+    top_k_blocking, top_k_blocking_matrix, top_k_blocking_point, top_k_blocking_scored_matrix,
+    BlockerBackend, TopKConfig,
 };
 
 use er_core::{EntityId, ScoredPair};

@@ -17,10 +17,11 @@
 //! candidates in the same canonical `(left, right)` order.
 
 use crate::dedup_scored;
-use er_core::{Embedding, EmbeddingMatrix, EntityId, ScoredPair};
-use er_index::{
-    ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex, ScanConfig,
+use er_core::{
+    BackendParams, Embedding, EmbeddingMatrix, EntityId, HnswParams, LshParams, OperatingPoint,
+    ScanConfig, ScoredPair,
 };
+use er_index::{ExactIndex, HnswConfig, HnswIndex, HyperplaneLsh, LshConfig, Metric, NnIndex};
 
 /// Which index serves the k-NN queries.
 #[derive(Debug, Clone)]
@@ -111,6 +112,100 @@ impl Default for TopKConfig {
             backend: BlockerBackend::default(),
             dirty: false,
             scan: ScanConfig::default(),
+        }
+    }
+}
+
+impl TopKConfig {
+    /// Derive a blocking config from a unified [`OperatingPoint`] — the
+    /// preferred construction path since the config redesign (the legacy
+    /// struct remains supported; see the crate docs' deprecation note).
+    /// Validates the point first, so a self-contradictory configuration
+    /// (e.g. a quantized scan on an approximate backend) surfaces as a
+    /// typed `ErError::Config` instead of silently misconfiguring a
+    /// backend. The point's single `metric`/`scan.tier` feed every backend
+    /// config, which is what closes the "two scans disagree" footgun.
+    pub fn from_point(point: &OperatingPoint) -> er_core::Result<TopKConfig> {
+        point.validate()?;
+        let backend = match point.backend {
+            BackendParams::Exact => BlockerBackend::Exact(point.metric),
+            BackendParams::Hnsw | BackendParams::HnswWith(_) => {
+                let p = point.backend.hnsw().expect("hnsw params");
+                BlockerBackend::Hnsw(HnswConfig {
+                    m: p.m,
+                    ef_construction: p.ef_construction,
+                    ef_search: p.ef_search,
+                    metric: point.metric,
+                    seed: p.seed,
+                    tier: point.scan.tier,
+                })
+            }
+            BackendParams::Lsh | BackendParams::LshWith(_) => {
+                let p = point.backend.lsh().expect("lsh params");
+                BlockerBackend::Lsh(LshConfig {
+                    planes: p.planes,
+                    tables: p.tables,
+                    probes: p.probes,
+                    metric: point.metric,
+                    seed: p.seed,
+                    tier: point.scan.tier,
+                })
+            }
+        };
+        Ok(TopKConfig {
+            k: point.k,
+            backend,
+            dirty: point.dirty,
+            scan: point.scan,
+        })
+    }
+}
+
+impl TryFrom<&OperatingPoint> for TopKConfig {
+    type Error = er_core::ErError;
+
+    fn try_from(point: &OperatingPoint) -> er_core::Result<TopKConfig> {
+        TopKConfig::from_point(point)
+    }
+}
+
+/// Lift a legacy blocking config into the unified [`OperatingPoint`].
+/// Total (never fails): every constructible `TopKConfig` has a unified
+/// form. For approximate backends the point's scan tier is the *backend's*
+/// tier — the one that actually ranks — and any quantization set on the
+/// legacy `scan` field (which those backends silently ignored: the
+/// footgun) is dropped.
+impl From<&TopKConfig> for OperatingPoint {
+    fn from(config: &TopKConfig) -> OperatingPoint {
+        let (backend, scan) = match &config.backend {
+            BlockerBackend::Exact(_) => (BackendParams::Exact, config.scan),
+            BlockerBackend::Hnsw(c) => (
+                BackendParams::HnswWith(HnswParams {
+                    m: c.m,
+                    ef_construction: c.ef_construction,
+                    ef_search: c.ef_search,
+                    seed: c.seed,
+                }),
+                ScanConfig::with_tier(c.tier),
+            ),
+            BlockerBackend::Lsh(c) => (
+                BackendParams::LshWith(LshParams {
+                    planes: c.planes,
+                    tables: c.tables,
+                    probes: c.probes,
+                    seed: c.seed,
+                }),
+                ScanConfig::with_tier(c.tier),
+            ),
+        };
+        OperatingPoint {
+            k: config.k,
+            metric: config.backend.metric(),
+            backend,
+            scan,
+            dirty: config.dirty,
+            recall_target: None,
+            budget_ns: None,
         }
     }
 }
@@ -212,6 +307,25 @@ pub fn top_k_blocking_scored_matrix(
             config,
         ),
     }
+}
+
+/// [`top_k_blocking_scored_matrix`] driven by a unified
+/// [`OperatingPoint`] — validate the point, derive the blocking config,
+/// run the scored blocker. The typed `ErError::Config` error is the only
+/// way this differs from the legacy path: a valid point produces
+/// candidates bit-identical to [`top_k_blocking_scored_matrix`] with
+/// `TopKConfig::from_point(point)`.
+pub fn top_k_blocking_point(
+    left_ids: &[EntityId],
+    left: &EmbeddingMatrix,
+    right_ids: &[EntityId],
+    right: &EmbeddingMatrix,
+    point: &OperatingPoint,
+) -> er_core::Result<Vec<ScoredPair>> {
+    let config = TopKConfig::from_point(point)?;
+    Ok(top_k_blocking_scored_matrix(
+        left_ids, left, right_ids, right, &config,
+    ))
 }
 
 fn query_all<I: NnIndex + Sync>(
@@ -448,6 +562,90 @@ mod tests {
             );
             assert_eq!(p.score.to_bits(), expected.to_bits(), "{p:?}");
         }
+    }
+
+    #[test]
+    fn operating_point_round_trips_through_the_legacy_config() {
+        let point = OperatingPoint::default()
+            .k(7)
+            .metric(Metric::Euclidean)
+            .hnsw(HnswParams {
+                m: 8,
+                ef_search: 32,
+                ..HnswParams::default()
+            })
+            .dirty(true);
+        let config = TopKConfig::from_point(&point).unwrap();
+        assert_eq!(config.k, 7);
+        assert!(config.dirty);
+        match &config.backend {
+            BlockerBackend::Hnsw(c) => {
+                assert_eq!(c.m, 8);
+                assert_eq!(c.ef_search, 32);
+                assert_eq!(c.metric, Metric::Euclidean);
+            }
+            other => panic!("expected HNSW, got {other:?}"),
+        }
+        // And back: the lifted point carries the same knobs (tuning goals
+        // are not part of the legacy struct, so they reset to None).
+        let lifted = OperatingPoint::from(&config);
+        assert_eq!(lifted.k, point.k);
+        assert_eq!(lifted.metric, point.metric);
+        assert_eq!(lifted.backend, point.backend);
+        assert_eq!(lifted.dirty, point.dirty);
+    }
+
+    #[test]
+    fn invalid_operating_point_is_a_typed_config_error() {
+        let bad = OperatingPoint::default().scan(ScanConfig {
+            quant: er_core::Quantization::Int8 { rerank: 8 },
+            ..ScanConfig::default()
+        });
+        let err = TopKConfig::from_point(&bad).unwrap_err();
+        assert!(matches!(err, er_core::ErError::Config(_)), "{err}");
+        let (left, right) = clustered();
+        let lm = EmbeddingMatrix::from_embeddings(&left);
+        let rm = EmbeddingMatrix::from_embeddings(&right);
+        assert!(top_k_blocking_point(&ids(3), &lm, &ids(3), &rm, &bad).is_err());
+    }
+
+    #[test]
+    fn point_blocking_is_bit_identical_to_the_legacy_path() {
+        let (left, right) = clustered();
+        let lm = EmbeddingMatrix::from_embeddings(&left);
+        let rm = EmbeddingMatrix::from_embeddings(&right);
+        for point in [
+            OperatingPoint::default().k(2),
+            OperatingPoint::default().k(2).exact(),
+            OperatingPoint::default().k(2).lsh(LshParams {
+                tables: 4,
+                ..LshParams::default()
+            }),
+        ] {
+            let via_point = top_k_blocking_point(&ids(3), &lm, &ids(3), &rm, &point).unwrap();
+            let via_config = top_k_blocking_scored_matrix(
+                &ids(3),
+                &lm,
+                &ids(3),
+                &rm,
+                &TopKConfig::from_point(&point).unwrap(),
+            );
+            assert_eq!(via_point.len(), via_config.len());
+            for (a, b) in via_point.iter().zip(&via_config) {
+                assert_eq!(a.id_pair(), b.id_pair());
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn default_point_matches_the_default_legacy_config() {
+        // The unified default and the legacy default describe the same run
+        // (compared in canonical JSON: `BackendParams::Hnsw` and
+        // `HnswWith(defaults)` render identically).
+        let from_default_config = OperatingPoint::from(&TopKConfig::default());
+        let default_point = OperatingPoint::default();
+        assert_eq!(from_default_config.to_json(), default_point.to_json());
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub enum ErError {
     /// Binary persistence integrity failure (bad magic/version/checksum,
     /// truncated payload) — see `er_core::binary`.
     Corrupt(String),
+    /// Invalid or self-contradictory configuration (an `OperatingPoint`
+    /// that fails validation, or two explicit configs that disagree about
+    /// the same knob) — see `er_core::operating_point`.
+    Config(String),
 }
 
 pub type Result<T> = std::result::Result<T, ErError>;
@@ -24,6 +28,7 @@ impl fmt::Display for ErError {
             ErError::Parse(msg) => write!(f, "parse error: {msg}"),
             ErError::Model(msg) => write!(f, "model error: {msg}"),
             ErError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            ErError::Config(msg) => write!(f, "config error: {msg}"),
         }
     }
 }

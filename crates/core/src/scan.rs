@@ -1,0 +1,51 @@
+//! Scan configuration for the exact brute-force backend: which f32 kernel
+//! tier ranks the rows, and whether a quantized (int8 / PQ) first pass
+//! replaces the full-precision scan.
+//!
+//! Historically these types lived in `er_index::exact`; they moved down
+//! into er-core with the [`crate::OperatingPoint`] redesign so one config
+//! crate-layer owns every knob. `er_index::{ScanConfig, Quantization}`
+//! re-export them, so existing imports keep compiling.
+
+use crate::kernels::KernelTier;
+use crate::pq::PqConfig;
+
+/// Which storage the brute-force scan ranks rows with.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Quantization {
+    /// Rank with the full f32 rows — the exact scan.
+    #[default]
+    None,
+    /// Rank with int8 codes (4× less traffic), then re-rank the best
+    /// `rerank.max(k)` candidates with the exact f32 kernels.
+    Int8 {
+        /// Candidates re-ranked exactly; clamped up to `k` at query time.
+        rerank: usize,
+    },
+    /// Rank with product-quantization ADC tables (`subspaces` bytes per
+    /// row), then re-rank the best `rerank.max(k)` candidates exactly.
+    Pq {
+        config: PqConfig,
+        /// Candidates re-ranked exactly; clamped up to `k` at query time.
+        rerank: usize,
+    },
+}
+
+/// Full scan configuration: the f32 kernel tier plus the optional
+/// quantized first pass. The default (`Reference`, no quantization) is the
+/// pre-tier behavior, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScanConfig {
+    pub tier: KernelTier,
+    pub quant: Quantization,
+}
+
+impl ScanConfig {
+    /// The exact scan on the given kernel tier.
+    pub fn with_tier(tier: KernelTier) -> ScanConfig {
+        ScanConfig {
+            tier,
+            quant: Quantization::None,
+        }
+    }
+}

@@ -12,51 +12,16 @@
 //! the pure exact scan.
 
 use crate::{IndexReader, Metric, MutableIndex, Neighbor, NnIndex};
-use er_core::pq::{PqCodebook, PqCodes, PqConfig};
+use er_core::pq::{PqCodebook, PqCodes};
 use er_core::quant::QuantizedMatrix;
-use er_core::{Embedding, EmbeddingMatrix, ErError, KernelTier, VectorSource, VectorStore};
+use er_core::{Embedding, EmbeddingMatrix, ErError, QueryParams, VectorSource, VectorStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Which storage the brute-force scan ranks rows with.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub enum Quantization {
-    /// Rank with the full f32 rows — the exact scan.
-    #[default]
-    None,
-    /// Rank with int8 codes (4× less traffic), then re-rank the best
-    /// `rerank.max(k)` candidates with the exact f32 kernels.
-    Int8 {
-        /// Candidates re-ranked exactly; clamped up to `k` at query time.
-        rerank: usize,
-    },
-    /// Rank with product-quantization ADC tables (`subspaces` bytes per
-    /// row), then re-rank the best `rerank.max(k)` candidates exactly.
-    Pq {
-        config: PqConfig,
-        /// Candidates re-ranked exactly; clamped up to `k` at query time.
-        rerank: usize,
-    },
-}
-
-/// Full scan configuration: the f32 kernel tier plus the optional
-/// quantized first pass. The default (`Reference`, no quantization) is the
-/// pre-tier behavior, bit for bit.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct ScanConfig {
-    pub tier: KernelTier,
-    pub quant: Quantization,
-}
-
-impl ScanConfig {
-    /// The exact scan on the given kernel tier.
-    pub fn with_tier(tier: KernelTier) -> ScanConfig {
-        ScanConfig {
-            tier,
-            quant: Quantization::None,
-        }
-    }
-}
+// `ScanConfig` / `Quantization` moved down into er-core with the
+// `OperatingPoint` redesign; re-exported here so existing
+// `er_index::{ScanConfig, Quantization}` imports keep compiling.
+pub use er_core::{Quantization, ScanConfig};
 
 /// The quantized companion storage of an [`ExactIndex`], kept in sync with
 /// the f32 matrix on inserts.
@@ -175,11 +140,14 @@ impl<'a> ExactIndex<'a> {
 
     /// The exact f32 top-k scan on the configured kernel tier, ignoring any
     /// quantized storage — the re-rank pass and the ground-truth scan.
-    fn search_exact(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+    /// Returns the hits plus the number of full-width distance evaluations
+    /// (one per live row).
+    fn search_exact(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
         let matrix = self.store.matrix();
         let tier = self.scan.tier;
         let query_norm = self.metric.query_norm_tier(tier, query);
         let mut heap: BinaryHeap<Hit> = BinaryHeap::with_capacity(k + 1);
+        let mut evals = 0u64;
         for (idx, row) in matrix.rows_iter().enumerate() {
             if self.deleted[idx] {
                 continue;
@@ -187,9 +155,55 @@ impl<'a> ExactIndex<'a> {
             let dist =
                 self.metric
                     .distance_prenorm_tier(tier, query, query_norm, row, matrix.norm(idx));
+            evals += 1;
             push_bounded(&mut heap, k, dist, idx);
         }
-        drain_sorted(heap)
+        (drain_sorted(heap), evals)
+    }
+
+    /// The shared body of [`NnIndex::search_slice`] and
+    /// [`IndexReader::search_counted`]: the scan plus its full-width
+    /// distance-evaluation count. A pure exact scan evaluates every live
+    /// row; a quantized scan evaluates only the re-ranked candidates (the
+    /// quantized first pass runs over int8/PQ codes, which the kernel cost
+    /// tables price separately — see `er-tune`).
+    fn search_counted_inner(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
+        if k == 0 || self.live_count() == 0 {
+            return (Vec::new(), 0);
+        }
+        let rerank = match self.scan.quant {
+            Quantization::None => return self.search_exact(query, k),
+            Quantization::Int8 { rerank } | Quantization::Pq { rerank, .. } => rerank,
+        };
+        // Quantized first pass over the best R = max(rerank, k) rows, then
+        // an exact re-rank: every returned distance comes from the f32
+        // kernels, the quantized codes only choose *which* rows compete.
+        let r = rerank.max(k);
+        let candidates = self.search_approx(query, r);
+        let evals = candidates.len() as u64;
+        let matrix = self.store.matrix();
+        let tier = self.scan.tier;
+        let query_norm = self.metric.query_norm_tier(tier, query);
+        let mut hits: Vec<Neighbor> = candidates
+            .into_iter()
+            .map(|c| {
+                let dist = self.metric.distance_prenorm_tier(
+                    tier,
+                    query,
+                    query_norm,
+                    matrix.row(c.index),
+                    matrix.norm(c.index),
+                );
+                Neighbor::new(c.index, dist)
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        hits.truncate(k);
+        (hits, evals)
     }
 
     /// Quantized first pass: rank every live row by its approximate
@@ -277,41 +291,7 @@ impl NnIndex for ExactIndex<'_> {
     }
 
     fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        if k == 0 || self.live_count() == 0 {
-            return Vec::new();
-        }
-        let rerank = match self.scan.quant {
-            Quantization::None => return self.search_exact(query, k),
-            Quantization::Int8 { rerank } | Quantization::Pq { rerank, .. } => rerank,
-        };
-        // Quantized first pass over the best R = max(rerank, k) rows, then
-        // an exact re-rank: every returned distance comes from the f32
-        // kernels, the quantized codes only choose *which* rows compete.
-        let r = rerank.max(k);
-        let candidates = self.search_approx(query, r);
-        let matrix = self.store.matrix();
-        let tier = self.scan.tier;
-        let query_norm = self.metric.query_norm_tier(tier, query);
-        let mut hits: Vec<Neighbor> = candidates
-            .into_iter()
-            .map(|c| {
-                let dist = self.metric.distance_prenorm_tier(
-                    tier,
-                    query,
-                    query_norm,
-                    matrix.row(c.index),
-                    matrix.norm(c.index),
-                );
-                Neighbor::new(c.index, dist)
-            })
-            .collect();
-        hits.sort_by(|a, b| {
-            a.distance
-                .total_cmp(&b.distance)
-                .then_with(|| a.index.cmp(&b.index))
-        });
-        hits.truncate(k);
-        hits
+        self.search_counted_inner(query, k).0
     }
 }
 
@@ -322,6 +302,18 @@ impl IndexReader for ExactIndex<'_> {
 
     fn live_count(&self) -> usize {
         self.store.len() - self.deleted_count
+    }
+
+    /// The scan has no runtime query parameters, so `params` is ignored;
+    /// the counter is live rows (pure scan) or re-ranked candidates
+    /// (quantized scan).
+    fn search_counted(
+        &self,
+        query: &[f32],
+        k: usize,
+        _params: &QueryParams,
+    ) -> (Vec<Neighbor>, u64) {
+        self.search_counted_inner(query, k)
     }
 }
 

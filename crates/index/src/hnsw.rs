@@ -29,7 +29,7 @@
 
 use crate::{IndexReader, Metric, MutableIndex, Neighbor, NnIndex};
 use er_core::rng::{derive, DetRng};
-use er_core::{Embedding, EmbeddingMatrix, ErError, VectorSource, VectorStore};
+use er_core::{Embedding, EmbeddingMatrix, ErError, QueryParams, VectorSource, VectorStore};
 use rand::Rng;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -194,9 +194,17 @@ impl<'a> HnswIndex<'a> {
         self.store.matrix()
     }
 
-    /// Adjust the query-time beam width without rebuilding the graph.
-    /// `ef_search` only affects [`NnIndex::search`], never the graph itself
-    /// — the same knob FAISS exposes as a search-time parameter.
+    /// Adjust the *default* query-time beam width without rebuilding the
+    /// graph. `ef_search` only affects [`NnIndex::search`], never the graph
+    /// itself — the same knob FAISS exposes as a search-time parameter.
+    ///
+    /// Note: with the `er_core::OperatingPoint` redesign the preferred way
+    /// to sweep the beam width is per query, via
+    /// [`IndexReader::search_counted`] /
+    /// [`IndexReader::search_params`] with
+    /// `QueryParams { ef_search: Some(ef), .. }` — bit-identical to
+    /// rebuilding through this setter (pinned by tests), without consuming
+    /// the index.
     pub fn with_ef_search(mut self, ef_search: usize) -> Self {
         self.config.ef_search = ef_search;
         self
@@ -253,9 +261,12 @@ impl<'a> HnswIndex<'a> {
             dist: self.dist(&query, query_norm, self.entry),
             id: self.entry,
         };
+        // Construction reuses the search helpers; their eval counter only
+        // matters on the query path.
+        let mut evals = 0u64;
         // Greedy descent through layers above the new node's level.
         for layer in (level + 1..=self.max_level).rev() {
-            cur = self.greedy_closest(&query, query_norm, cur, layer);
+            cur = self.greedy_closest(&query, query_norm, cur, layer, &mut evals);
         }
         // Beam search + connect on each layer the node participates in.
         let mut entries = vec![cur];
@@ -267,6 +278,7 @@ impl<'a> HnswIndex<'a> {
                 self.config.ef_construction,
                 layer,
                 visited,
+                &mut evals,
             );
             let max_conn = if layer == 0 {
                 2 * self.config.m
@@ -292,10 +304,19 @@ impl<'a> HnswIndex<'a> {
     }
 
     /// Hill-climb to the locally closest node of one layer (beam width 1).
-    fn greedy_closest(&self, query: &[f32], query_norm: f32, mut cur: Cand, layer: usize) -> Cand {
+    /// `evals` counts every distance evaluation the climb performs.
+    fn greedy_closest(
+        &self,
+        query: &[f32],
+        query_norm: f32,
+        mut cur: Cand,
+        layer: usize,
+        evals: &mut u64,
+    ) -> Cand {
         loop {
             let mut best = cur;
             for &nb in &self.neighbors[cur.id as usize][layer] {
+                *evals += 1;
                 let cand = Cand {
                     dist: self.dist(query, query_norm, nb),
                     id: nb,
@@ -312,7 +333,9 @@ impl<'a> HnswIndex<'a> {
     }
 
     /// Best-first beam search of one layer (the paper's Algorithm 2),
-    /// returning up to `ef` candidates sorted nearest-first.
+    /// returning up to `ef` candidates sorted nearest-first. `evals`
+    /// counts every distance evaluation of the beam.
+    #[allow(clippy::too_many_arguments)]
     fn search_layer(
         &self,
         query: &[f32],
@@ -321,6 +344,7 @@ impl<'a> HnswIndex<'a> {
         ef: usize,
         layer: usize,
         visited: &mut [bool],
+        evals: &mut u64,
     ) -> Vec<Cand> {
         visited.iter_mut().for_each(|v| *v = false);
         let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
@@ -343,6 +367,7 @@ impl<'a> HnswIndex<'a> {
                 if std::mem::replace(&mut visited[nb as usize], true) {
                     continue;
                 }
+                *evals += 1;
                 let next = Cand {
                     dist: self.dist(query, query_norm, nb),
                     id: nb,
@@ -408,6 +433,7 @@ impl<'a> HnswIndex<'a> {
     /// traversed (they keep routing the beam through the graph) but only
     /// live nodes may enter the result set, so the beam keeps `ef` *live*
     /// candidates and `k ≤ ef` hits never contain a deleted id.
+    #[allow(clippy::too_many_arguments)]
     fn search_layer_masked(
         &self,
         query: &[f32],
@@ -416,6 +442,7 @@ impl<'a> HnswIndex<'a> {
         ef: usize,
         layer: usize,
         visited: &mut [bool],
+        evals: &mut u64,
     ) -> Vec<Cand> {
         visited.iter_mut().for_each(|v| *v = false);
         let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
@@ -441,6 +468,7 @@ impl<'a> HnswIndex<'a> {
                 if std::mem::replace(&mut visited[nb as usize], true) {
                     continue;
                 }
+                *evals += 1;
                 let next = Cand {
                     dist: self.dist(query, query_norm, nb),
                     id: nb,
@@ -472,10 +500,21 @@ impl NnIndex for HnswIndex<'_> {
     }
 
     fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_counted_inner(query, k, self.config.ef_search).0
+    }
+}
+
+impl HnswIndex<'_> {
+    /// The shared body of [`NnIndex::search_slice`] and
+    /// [`IndexReader::search_counted`]: the graph search with an explicit
+    /// beam width, counting every distance evaluation (entry distance,
+    /// greedy descent, layer-0 beam).
+    fn search_counted_inner(&self, query: &[f32], k: usize, ef: usize) -> (Vec<Neighbor>, u64) {
         if k == 0 || self.live_count() == 0 {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let query_norm = self.config.metric.query_norm_tier(self.config.tier, query);
+        let mut evals = 1u64;
         let mut cur = Cand {
             dist: self.dist(query, query_norm, self.entry),
             id: self.entry,
@@ -483,20 +522,21 @@ impl NnIndex for HnswIndex<'_> {
         // The greedy descent may pass through (or land on) deleted nodes —
         // they only route; layer 0 masks them out of the results.
         for layer in (1..=self.max_level).rev() {
-            cur = self.greedy_closest(query, query_norm, cur, layer);
+            cur = self.greedy_closest(query, query_norm, cur, layer, &mut evals);
         }
-        let ef = self.config.ef_search.max(k);
+        let ef = ef.max(k);
         let mut visited = vec![false; self.store.len()];
         let found = if self.deleted_count == 0 {
-            self.search_layer(query, query_norm, &[cur], ef, 0, &mut visited)
+            self.search_layer(query, query_norm, &[cur], ef, 0, &mut visited, &mut evals)
         } else {
-            self.search_layer_masked(query, query_norm, &[cur], ef, 0, &mut visited)
+            self.search_layer_masked(query, query_norm, &[cur], ef, 0, &mut visited, &mut evals)
         };
-        found
+        let hits = found
             .into_iter()
             .take(k)
             .map(|c| Neighbor::new(c.id as usize, c.dist))
-            .collect()
+            .collect();
+        (hits, evals)
     }
 }
 
@@ -507,6 +547,19 @@ impl IndexReader for HnswIndex<'_> {
 
     fn live_count(&self) -> usize {
         self.store.len() - self.deleted_count
+    }
+
+    /// Honors `params.ef_search` (the runtime beam width — bit-identical
+    /// to rebuilding via [`HnswIndex::with_ef_search`]); other params are
+    /// ignored.
+    fn search_counted(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &QueryParams,
+    ) -> (Vec<Neighbor>, u64) {
+        let ef = params.ef_search.unwrap_or(self.config.ef_search);
+        self.search_counted_inner(query, k, ef)
     }
 }
 

@@ -27,6 +27,9 @@ pub use exact::{ExactIndex, Quantization, ScanConfig};
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use lsh::{HyperplaneLsh, LshConfig};
 pub use metric::Metric;
+// The runtime query-parameter overrides every `IndexReader` accepts (part
+// of the `er_core::OperatingPoint` redesign).
+pub use er_core::QueryParams;
 
 use er_core::{Embedding, EmbeddingMatrix};
 
@@ -67,6 +70,26 @@ pub trait IndexReader: NnIndex {
 
     /// Stored rows minus tombstones — the most hits any search can return.
     fn live_count(&self) -> usize;
+
+    /// Search with runtime [`QueryParams`] overrides (HNSW beam width, LSH
+    /// probes/tables — knobs that never rebuild the index), returning the
+    /// hits **plus the number of full-width f32 distance evaluations** the
+    /// search performed over stored rows — the measured quantity `er-tune`
+    /// validates its cost estimates against.
+    ///
+    /// Contract: with `QueryParams::default()` the hits are bit-identical
+    /// to [`NnIndex::search_slice`] (pinned by tests); a param the backend
+    /// does not understand is ignored. Not counted: per-query setup (query
+    /// norm, LSH signature dots, quantized first passes) — the cost model
+    /// prices those from the kernel calibration tables instead.
+    fn search_counted(&self, query: &[f32], k: usize, params: &QueryParams)
+        -> (Vec<Neighbor>, u64);
+
+    /// [`IndexReader::search_counted`] without the counter — the
+    /// parameter-sweeping search entry point.
+    fn search_params(&self, query: &[f32], k: usize, params: &QueryParams) -> Vec<Neighbor> {
+        self.search_counted(query, k, params).0
+    }
 }
 
 /// The writer handle on top of [`IndexReader`] — the `er-serve` mutation

@@ -17,7 +17,9 @@
 
 use crate::{IndexReader, Metric, MutableIndex, Neighbor, NnIndex};
 use er_core::rng::derive;
-use er_core::{Embedding, EmbeddingMatrix, ErError, KernelTier, VectorSource, VectorStore};
+use er_core::{
+    Embedding, EmbeddingMatrix, ErError, KernelTier, QueryParams, VectorSource, VectorStore,
+};
 use rand::{Rng, RngCore};
 use std::collections::HashMap;
 
@@ -174,6 +176,57 @@ impl<'a> HyperplaneLsh<'a> {
 
     /// Slice form of [`HyperplaneLsh::candidates`].
     pub fn candidates_slice(&self, query: &[f32]) -> Vec<u32> {
+        self.candidates_slice_with(query, self.config.probes, self.config.tables)
+    }
+
+    /// The cost hook for `er-tune`'s occupancy model: the live occupancy
+    /// of every bucket `query` would probe under `(probes, tables)`, one
+    /// entry per probed bucket in probe order, **without** the cross-table
+    /// dedup that [`HyperplaneLsh::candidates_slice_with`] applies. The
+    /// estimator turns these raw per-bucket counts into an expected
+    /// *unique* candidate count analytically, so it must see the overlaps.
+    pub fn probed_occupancy(&self, query: &[f32], probes: usize, tables: usize) -> Vec<usize> {
+        if self.store.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for table in &self.tables[..tables.clamp(1, self.tables.len())] {
+            let (sig, margins) =
+                signature_with_margins(&table.hyperplanes, query, self.config.tier);
+            let mut order: Vec<usize> = (0..self.config.planes).collect();
+            order.sort_by(|&a, &b| {
+                margins[a]
+                    .abs()
+                    .total_cmp(&margins[b].abs())
+                    .then_with(|| a.cmp(&b))
+            });
+            let probe_sigs =
+                std::iter::once(sig).chain(order.iter().take(probes).map(|&bit| sig ^ (1 << bit)));
+            for probe in probe_sigs {
+                let count = table
+                    .buckets
+                    .get(&probe)
+                    .map(|bucket| {
+                        bucket
+                            .iter()
+                            .filter(|&&id| !self.deleted[id as usize])
+                            .count()
+                    })
+                    .unwrap_or(0);
+                out.push(count);
+            }
+        }
+        out
+    }
+
+    /// [`HyperplaneLsh::candidates_slice`] with runtime probe settings:
+    /// probe `probes` extra buckets per table, over only the first
+    /// `tables` tables (clamped to the built count). Because table `t`'s
+    /// hyperplane stream is independent of how many tables follow it, the
+    /// prefix gather is bit-identical to an index *built* with `tables`
+    /// tables — which is what lets the tuner sweep both knobs against one
+    /// build.
+    pub fn candidates_slice_with(&self, query: &[f32], probes: usize, tables: usize) -> Vec<u32> {
         if self.store.is_empty() {
             // An empty index hashed nothing; probing its dim-0 hyperplanes
             // against a real query would be a shape mismatch.
@@ -181,7 +234,7 @@ impl<'a> HyperplaneLsh<'a> {
         }
         let mut seen = vec![false; self.store.len()];
         let mut out = Vec::new();
-        for table in &self.tables {
+        for table in &self.tables[..tables.clamp(1, self.tables.len())] {
             let (sig, margins) =
                 signature_with_margins(&table.hyperplanes, query, self.config.tier);
             // Probe order: the base bucket, then single-bit flips of the
@@ -193,12 +246,8 @@ impl<'a> HyperplaneLsh<'a> {
                     .total_cmp(&margins[b].abs())
                     .then_with(|| a.cmp(&b))
             });
-            let probes = std::iter::once(sig).chain(
-                order
-                    .iter()
-                    .take(self.config.probes)
-                    .map(|&bit| sig ^ (1 << bit)),
-            );
+            let probes =
+                std::iter::once(sig).chain(order.iter().take(probes).map(|&bit| sig ^ (1 << bit)));
             for probe in probes {
                 if let Some(bucket) = table.buckets.get(&probe) {
                     for &id in bucket {
@@ -255,14 +304,33 @@ impl NnIndex for HyperplaneLsh<'_> {
     }
 
     fn search_slice(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_counted_inner(query, k, self.config.probes, self.config.tables)
+            .0
+    }
+}
+
+impl HyperplaneLsh<'_> {
+    /// The shared body of [`NnIndex::search_slice`] and
+    /// [`IndexReader::search_counted`]: gather candidates under the given
+    /// probe settings and re-rank them exactly. The eval counter is the
+    /// candidate count — one full-width distance per gathered row (the
+    /// signature dots are priced separately by the cost model).
+    fn search_counted_inner(
+        &self,
+        query: &[f32],
+        k: usize,
+        probes: usize,
+        tables: usize,
+    ) -> (Vec<Neighbor>, u64) {
         if k == 0 || self.live_count() == 0 {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let matrix = self.store.matrix();
         let tier = self.config.tier;
         let query_norm = self.config.metric.query_norm_tier(tier, query);
-        let mut hits: Vec<Neighbor> = self
-            .candidates_slice(query)
+        let candidates = self.candidates_slice_with(query, probes, tables);
+        let evals = candidates.len() as u64;
+        let mut hits: Vec<Neighbor> = candidates
             .into_iter()
             .map(|id| {
                 let dist = self.config.metric.distance_prenorm_tier(
@@ -281,7 +349,7 @@ impl NnIndex for HyperplaneLsh<'_> {
                 .then_with(|| a.index.cmp(&b.index))
         });
         hits.truncate(k);
-        hits
+        (hits, evals)
     }
 }
 
@@ -292,6 +360,20 @@ impl IndexReader for HyperplaneLsh<'_> {
 
     fn live_count(&self) -> usize {
         self.store.len() - self.deleted_count
+    }
+
+    /// Honors `params.probes` and `params.tables` (runtime probe settings
+    /// — the table prefix is bit-identical to an index built with that
+    /// many tables); `ef_search` is ignored.
+    fn search_counted(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &QueryParams,
+    ) -> (Vec<Neighbor>, u64) {
+        let probes = params.probes.unwrap_or(self.config.probes);
+        let tables = params.tables.unwrap_or(self.config.tables);
+        self.search_counted_inner(query, k, probes, tables)
     }
 }
 

@@ -178,6 +178,19 @@ impl IndexReader for AnyIndex {
             AnyIndex::Lsh(i) => i.live_count(),
         }
     }
+
+    fn search_counted(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &er_core::QueryParams,
+    ) -> (Vec<Neighbor>, u64) {
+        match self {
+            AnyIndex::Exact(i) => i.search_counted(query, k, params),
+            AnyIndex::Hnsw(i) => i.search_counted(query, k, params),
+            AnyIndex::Lsh(i) => i.search_counted(query, k, params),
+        }
+    }
 }
 
 impl MutableIndex for AnyIndex {

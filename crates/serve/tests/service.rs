@@ -439,3 +439,49 @@ fn int8_service_with_full_rerank_matches_the_f32_service_bitwise() {
     );
     assert!(matches!(err, Err(ErError::Model(_))));
 }
+
+#[test]
+fn operating_point_is_the_single_source_of_truth_for_both_configs() {
+    use er_blocking::TopKConfig;
+    use er_core::{KernelTier as Tier, OperatingPoint, Quantization, ScanConfig as Scan};
+    use er_serve::unified_operating_point;
+
+    // Derived from one point, blocking and serving configs always agree.
+    let point = OperatingPoint::default().k(5).exact().tier(Tier::Lanes);
+    let blocking = TopKConfig::from_point(&point).unwrap();
+    let serve = ServeConfig::from_point(&point).unwrap();
+    let unified = unified_operating_point(&blocking, &serve).unwrap();
+    assert_eq!(unified.to_json(), point.clone().k(5).to_json());
+
+    // The historical footgun: same pipeline run, two hand-built configs
+    // whose scans silently disagree — now a typed Config error.
+    let hand_blocking = TopKConfig::new(5).backend(BlockerBackend::Exact(Metric::Cosine));
+    let hand_serve = ServeConfig::new()
+        .backend(BlockerBackend::Exact(Metric::Cosine))
+        .scan(Scan {
+            tier: Tier::Reference,
+            quant: Quantization::Int8 { rerank: 20 },
+        });
+    let err = unified_operating_point(&hand_blocking, &hand_serve).unwrap_err();
+    assert!(matches!(err, ErError::Config(_)), "{err}");
+
+    // Disagreeing backends are caught the same way.
+    let lsh_serve = ServeConfig::new().backend(BlockerBackend::Lsh(LshConfig::default()));
+    let err = unified_operating_point(&hand_blocking, &lsh_serve).unwrap_err();
+    assert!(matches!(err, ErError::Config(_)), "{err}");
+
+    // A resolver built from the point serves the same backend the blocker
+    // ranks with.
+    let model = TrigramModel { dim: 16 };
+    let resolver = Resolver::with_point(&model, SerializationMode::SchemaAgnostic, &point).unwrap();
+    assert!(resolver.is_empty());
+    // An invalid point is rejected with the same typed error.
+    let bad = OperatingPoint::default().scan(Scan {
+        tier: Tier::Reference,
+        quant: Quantization::Int8 { rerank: 8 },
+    });
+    assert!(matches!(
+        Resolver::with_point(&model, SerializationMode::SchemaAgnostic, &bad),
+        Err(ErError::Config(_))
+    ));
+}

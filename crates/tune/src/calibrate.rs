@@ -1,0 +1,328 @@
+//! Calibration tables: nanoseconds-per-row microbench cells in the
+//! `BENCH_kernels.json` format, keyed by `(cost tier, metric, dim)`.
+//!
+//! The cost model prices a query as *distance evaluations × ns-per-row*,
+//! so everything hinges on knowing what one row costs on this machine.
+//! That number comes from the committed kernel microbenchmark snapshot:
+//! [`Calibration::from_json`] parses a `BENCH_kernels.json` document
+//! (`bench_kernels --check` keeps it honest in CI), and
+//! [`Calibration::builtin`] carries the snapshot's cells compiled in, so
+//! the tuner works without touching the filesystem.
+//!
+//! Lookups interpolate linearly between the two bracketing benched
+//! dimensions; outside the benched range the nearest cell is scaled by
+//! the dim ratio (row cost is linear in dim for every kernel here).
+
+use er_core::json::Json;
+use er_core::{ErError, KernelTier, Metric, Quantization, Result, ScanConfig};
+
+/// The kernel a scan's *first pass* runs on — [`KernelTier`] widened with
+/// the quantized tiers, matching the `tier` column of `BENCH_kernels.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostTier {
+    Reference,
+    Lanes,
+    Int8,
+    Pq,
+}
+
+impl CostTier {
+    /// The `BENCH_kernels.json` tier name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostTier::Reference => "reference",
+            CostTier::Lanes => "lanes",
+            CostTier::Int8 => "int8",
+            CostTier::Pq => "pq",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<CostTier> {
+        match name {
+            "reference" => Some(CostTier::Reference),
+            "lanes" => Some(CostTier::Lanes),
+            "int8" => Some(CostTier::Int8),
+            "pq" => Some(CostTier::Pq),
+            _ => None,
+        }
+    }
+
+    /// The tier a [`ScanConfig`]'s first pass runs on: the quantized tier
+    /// when quantization is set, the full-width kernel tier otherwise.
+    pub fn of_scan(scan: &ScanConfig) -> CostTier {
+        match scan.quant {
+            Quantization::None => CostTier::of_kernel(scan.tier),
+            Quantization::Int8 { .. } => CostTier::Int8,
+            Quantization::Pq { .. } => CostTier::Pq,
+        }
+    }
+
+    /// The full-width tier (what re-ranking and graph distances run on).
+    pub fn of_kernel(tier: KernelTier) -> CostTier {
+        match tier {
+            KernelTier::Reference => CostTier::Reference,
+            KernelTier::Lanes => CostTier::Lanes,
+        }
+    }
+}
+
+/// The `BENCH_kernels.json` metric column name for a [`Metric`].
+pub fn metric_name(metric: Metric) -> &'static str {
+    match metric {
+        Metric::Euclidean => "sqeuclidean",
+        Metric::Cosine => "cosine",
+    }
+}
+
+/// One microbench cell: what one row of a `dim`-dimensional scan costs
+/// under `(tier, metric)` on the benched machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    pub tier: CostTier,
+    /// `"dot"`, `"cosine"` or `"sqeuclidean"` — kept as the raw bench
+    /// name because the hash-cost lookup needs `"dot"`, which has no
+    /// [`Metric`] variant.
+    pub metric: &'static str,
+    pub dim: usize,
+    pub ns_per_row: f64,
+}
+
+/// A full `(tier, metric, dim)` table of ns-per-row cells.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    cells: Vec<Cell>,
+}
+
+/// The committed `BENCH_kernels.json` snapshot, compiled in. Regenerate
+/// with `cargo run --release --bin bench_kernels` if the numbers drift.
+const BUILTIN: &[(CostTier, &str, usize, f64)] = &[
+    (CostTier::Reference, "dot", 48, 23.868397),
+    (CostTier::Reference, "cosine", 48, 25.780834),
+    (CostTier::Reference, "sqeuclidean", 48, 27.776),
+    (CostTier::Lanes, "dot", 48, 13.102708),
+    (CostTier::Lanes, "cosine", 48, 12.514688),
+    (CostTier::Lanes, "sqeuclidean", 48, 15.775354),
+    (CostTier::Int8, "dot", 48, 7.3765),
+    (CostTier::Int8, "cosine", 48, 8.043167),
+    (CostTier::Int8, "sqeuclidean", 48, 8.47425),
+    (CostTier::Pq, "dot", 48, 5.1401668),
+    (CostTier::Pq, "cosine", 48, 6.4361873),
+    (CostTier::Pq, "sqeuclidean", 48, 5.064271),
+    (CostTier::Reference, "dot", 64, 36.832645),
+    (CostTier::Reference, "cosine", 64, 40.547585),
+    (CostTier::Reference, "sqeuclidean", 64, 47.59342),
+    (CostTier::Lanes, "dot", 64, 20.300125),
+    (CostTier::Lanes, "cosine", 64, 18.14148),
+    (CostTier::Lanes, "sqeuclidean", 64, 21.86329),
+    (CostTier::Int8, "dot", 64, 5.8832707),
+    (CostTier::Int8, "cosine", 64, 6.7543125),
+    (CostTier::Int8, "sqeuclidean", 64, 6.630375),
+    (CostTier::Pq, "dot", 64, 5.1114583),
+    (CostTier::Pq, "cosine", 64, 6.5704165),
+    (CostTier::Pq, "sqeuclidean", 64, 5.0927916),
+    (CostTier::Reference, "dot", 96, 55.922314),
+    (CostTier::Reference, "cosine", 96, 56.78425),
+    (CostTier::Reference, "sqeuclidean", 96, 68.10485),
+    (CostTier::Lanes, "dot", 96, 28.092522),
+    (CostTier::Lanes, "cosine", 96, 28.066626),
+    (CostTier::Lanes, "sqeuclidean", 96, 33.56194),
+    (CostTier::Int8, "dot", 96, 7.306354),
+    (CostTier::Int8, "cosine", 96, 9.330521),
+    (CostTier::Int8, "sqeuclidean", 96, 8.638729),
+    (CostTier::Pq, "dot", 96, 5.29),
+    (CostTier::Pq, "cosine", 96, 6.833875),
+    (CostTier::Pq, "sqeuclidean", 96, 5.395604),
+];
+
+impl Calibration {
+    /// The compiled-in copy of the committed kernel snapshot.
+    pub fn builtin() -> Calibration {
+        Calibration {
+            cells: BUILTIN
+                .iter()
+                .map(|&(tier, metric, dim, ns_per_row)| Cell {
+                    tier,
+                    metric,
+                    dim,
+                    ns_per_row,
+                })
+                .collect(),
+        }
+    }
+
+    /// Parse a `BENCH_kernels.json` document (the `cells` array; other
+    /// fields are ignored). Cells with an unknown tier or metric name are
+    /// skipped — forward compatibility with new bench columns.
+    pub fn from_json(doc: &Json) -> Result<Calibration> {
+        let cells_json = doc
+            .get("cells")
+            .and_then(|c| c.as_arr().ok())
+            .ok_or_else(|| ErError::Config("calibration document has no cells array".into()))?;
+        let mut cells = Vec::new();
+        for cell in cells_json {
+            let tier = cell.get("tier").and_then(|v| v.as_str().ok());
+            let metric = cell.get("metric").and_then(|v| v.as_str().ok());
+            let dim = cell.get("dim").and_then(|v| v.as_usize().ok());
+            let ns = cell.get("ns_per_row").and_then(|v| v.as_f32().ok());
+            let (Some(tier), Some(metric), Some(dim), Some(ns)) = (tier, metric, dim, ns) else {
+                return Err(ErError::Config(format!(
+                    "malformed calibration cell: {cell}"
+                )));
+            };
+            let Some(tier) = CostTier::from_name(tier) else {
+                continue;
+            };
+            let metric = match metric {
+                "dot" => "dot",
+                "cosine" => "cosine",
+                "sqeuclidean" => "sqeuclidean",
+                _ => continue,
+            };
+            if ns <= 0.0 || dim == 0 {
+                return Err(ErError::Config(format!(
+                    "degenerate calibration cell: tier={} metric={metric} dim={dim} ns={ns}",
+                    tier.name()
+                )));
+            }
+            cells.push(Cell {
+                tier,
+                metric,
+                dim,
+                ns_per_row: ns as f64,
+            });
+        }
+        if cells.is_empty() {
+            return Err(ErError::Config(
+                "calibration document has no usable cells".into(),
+            ));
+        }
+        Ok(Calibration { cells })
+    }
+
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Ns-per-row for one stored row under `(tier, metric)` at `dim`:
+    /// linear interpolation between the bracketing benched dims, nearest
+    /// cell scaled by the dim ratio outside the benched range.
+    pub fn ns_per_row(&self, tier: CostTier, metric: &str, dim: usize) -> Result<f64> {
+        let mut matching: Vec<&Cell> = self
+            .cells
+            .iter()
+            .filter(|c| c.tier == tier && c.metric == metric)
+            .collect();
+        if matching.is_empty() {
+            return Err(ErError::Config(format!(
+                "no calibration cells for tier={} metric={metric}",
+                tier.name()
+            )));
+        }
+        matching.sort_by_key(|c| c.dim);
+        let d = dim as f64;
+        let first = matching[0];
+        let last = matching[matching.len() - 1];
+        if dim <= first.dim {
+            return Ok(first.ns_per_row * d / first.dim as f64);
+        }
+        if dim >= last.dim {
+            return Ok(last.ns_per_row * d / last.dim as f64);
+        }
+        let hi = matching
+            .iter()
+            .position(|c| c.dim >= dim)
+            .expect("in range");
+        let (lo, hi) = (matching[hi - 1], matching[hi]);
+        if hi.dim == dim {
+            return Ok(hi.ns_per_row);
+        }
+        let t = (d - lo.dim as f64) / (hi.dim - lo.dim) as f64;
+        Ok(lo.ns_per_row + t * (hi.ns_per_row - lo.ns_per_row))
+    }
+
+    /// Convenience: ns-per-row for a [`Metric`] (not the raw bench name).
+    pub fn ns_per_row_metric(&self, tier: CostTier, metric: Metric, dim: usize) -> Result<f64> {
+        self.ns_per_row(tier, metric_name(metric), dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_round_trips_through_the_bench_json_format() {
+        let builtin = Calibration::builtin();
+        // Render a minimal BENCH_kernels-shaped document and parse it back.
+        let cells: Vec<Json> = builtin
+            .cells()
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("tier".into(), Json::from_str_value(c.tier.name())),
+                    ("metric".into(), Json::from_str_value(c.metric)),
+                    ("dim".into(), Json::from_usize(c.dim)),
+                    ("ns_per_row".into(), Json::from_f32(c.ns_per_row as f32)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![("cells".into(), Json::Arr(cells))]);
+        let parsed = Calibration::from_json(&doc).expect("parses");
+        assert_eq!(parsed.cells().len(), builtin.cells().len());
+        for (a, b) in parsed.cells().iter().zip(builtin.cells()) {
+            assert_eq!(a.tier, b.tier);
+            assert_eq!(a.metric, b.metric);
+            assert_eq!(a.dim, b.dim);
+            // from_f32 narrows; allow the f32 round-trip wobble.
+            assert!((a.ns_per_row - b.ns_per_row).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn lookup_interpolates_between_benched_dims_and_scales_outside() {
+        let cal = Calibration::builtin();
+        let at48 = cal.ns_per_row(CostTier::Reference, "cosine", 48).unwrap();
+        let at64 = cal.ns_per_row(CostTier::Reference, "cosine", 64).unwrap();
+        assert!((at48 - 25.780834).abs() < 1e-9);
+        // Midpoint of the 48..64 bracket.
+        let at56 = cal.ns_per_row(CostTier::Reference, "cosine", 56).unwrap();
+        assert!((at56 - 0.5 * (at48 + at64)).abs() < 1e-9);
+        // Below the range: scaled from the dim-48 cell.
+        let at24 = cal.ns_per_row(CostTier::Reference, "cosine", 24).unwrap();
+        assert!((at24 - at48 * 0.5).abs() < 1e-9);
+        // Above the range: scaled from the dim-96 cell.
+        let at96 = cal.ns_per_row(CostTier::Reference, "cosine", 96).unwrap();
+        let at192 = cal.ns_per_row(CostTier::Reference, "cosine", 192).unwrap();
+        assert!((at192 - at96 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_config_maps_to_its_first_pass_tier() {
+        assert_eq!(
+            CostTier::of_scan(&ScanConfig::default()),
+            CostTier::Reference
+        );
+        assert_eq!(
+            CostTier::of_scan(&ScanConfig::with_tier(KernelTier::Lanes)),
+            CostTier::Lanes
+        );
+        let int8 = ScanConfig {
+            tier: KernelTier::Lanes,
+            quant: Quantization::Int8 { rerank: 8 },
+        };
+        assert_eq!(CostTier::of_scan(&int8), CostTier::Int8);
+    }
+
+    #[test]
+    fn missing_cells_and_malformed_documents_are_typed_errors() {
+        let cal = Calibration::builtin();
+        assert!(matches!(
+            cal.ns_per_row(CostTier::Reference, "hamming", 64),
+            Err(ErError::Config(_))
+        ));
+        assert!(matches!(
+            Calibration::from_json(&Json::Obj(vec![])),
+            Err(ErError::Config(_))
+        ));
+    }
+}

@@ -33,6 +33,7 @@ pub use er_matching as matching;
 pub use er_serve as serve;
 pub use er_tensor as tensor;
 pub use er_text as text;
+pub use er_tune as tune;
 
 pub mod pipeline;
 
@@ -46,13 +47,14 @@ use er_embed::LanguageModel;
 pub mod prelude {
     pub use er_blocking::{
         dedup_candidates, dedup_scored, top_k_blocking, top_k_blocking_matrix,
-        top_k_blocking_scored_matrix, BlockerBackend, TopKConfig,
+        top_k_blocking_point, top_k_blocking_scored_matrix, BlockerBackend, TopKConfig,
     };
     pub use er_core::pq::PqConfig;
     pub use er_core::rng::rng;
     pub use er_core::{
-        sort_by_id_pair, sort_by_score_desc, Embedding, EmbeddingMatrix, Entity, EntityId, ErError,
-        GroundTruth, KernelTier, Result, ScoredPair, SerializationMode,
+        sort_by_id_pair, sort_by_score_desc, BackendParams, Embedding, EmbeddingMatrix, Entity,
+        EntityId, ErError, GroundTruth, HnswParams, KernelTier, LshParams, OperatingPoint,
+        QueryParams, Result, ScoredPair, SerializationMode,
     };
     pub use er_datasets::{CleanCleanDataset, DatasetId, DatasetProfile};
     pub use er_embed::{AnyModel, LanguageModel, ModelCode, ModelZoo, ZooConfig};
@@ -66,10 +68,12 @@ pub mod prelude {
         unique_mapping_clustering, Clusterer, SweepPoint, ThresholdSweep,
     };
     pub use er_serve::{
-        CompactionPolicy, Hit, Resolver, SegmentSnapshot, ServeConfig, ShardStats, ShardedIndex,
+        unified_operating_point, CompactionPolicy, Hit, Resolver, SegmentSnapshot, ServeConfig,
+        ShardStats, ShardedIndex,
     };
     pub use er_text::corpus::synthetic_corpus;
     pub use er_text::{normalize, tokenize, Corpus};
+    pub use er_tune::{autotune, measure_point, CostModel, TuneOutcome, TunerConfig};
 
     pub use crate::{
         block, vectorize, vectorize_matrix, BlockOutcome, Pipeline, ResolveConfig, ResolveOutcome,

@@ -138,6 +138,116 @@ impl<'m> Pipeline<'m> {
         BlockOutcome { scored, report }
     }
 
+    /// Vectorize + top-k blocking driven by a unified
+    /// [`er_core::OperatingPoint`] instead of a legacy [`TopKConfig`] —
+    /// the redesigned entry point ([`er_blocking::top_k_blocking_point`]'s
+    /// pipeline twin). Fails (typed `Config` error) when the point fails
+    /// validation.
+    pub fn block_point(
+        &self,
+        left: &[Entity],
+        right: &[Entity],
+        point: &er_core::OperatingPoint,
+    ) -> er_core::Result<BlockOutcome> {
+        let config = TopKConfig::from_point(point)?;
+        Ok(self.block(left, right, &config))
+    }
+
+    /// The autotuned [`Pipeline::resolve`]: vectorize both collections
+    /// once, run the `er-tune` autotuner on the embedded matrices to pick
+    /// the cheapest [`er_core::OperatingPoint`] meeting `goal`'s recall
+    /// target, then block and match with the chosen point. The matching
+    /// stage mirrors [`Pipeline::resolve`] with the paper defaults
+    /// (Unique Mapping Clustering over the Fig. 15 δ grid); the report
+    /// gains a `tune` stage (items = trials swept) between vectorization
+    /// and blocking.
+    pub fn resolve_tuned(
+        &self,
+        left: &[Entity],
+        right: &[Entity],
+        gt: &GroundTruth,
+        goal: &er_core::OperatingPoint,
+        tuner: &er_tune::TunerConfig,
+    ) -> er_core::Result<(ResolveOutcome, er_tune::TuneOutcome)> {
+        let mut report = StageReport::new();
+        let shared = left.as_ptr() == right.as_ptr() && left.len() == right.len();
+        let left_matrix = report.time(
+            if shared {
+                "vectorize"
+            } else {
+                "vectorize-left"
+            },
+            || {
+                let m = self.vectorize(left);
+                let rows = m.len();
+                (m, rows)
+            },
+        );
+        let right_matrix = if shared {
+            None
+        } else {
+            Some(report.time("vectorize-right", || {
+                let m = self.vectorize(right);
+                let rows = m.len();
+                (m, rows)
+            }))
+        };
+        let right_ref = right_matrix.as_ref().unwrap_or(&left_matrix);
+        let tune = report.time("tune", || {
+            let outcome = er_tune::autotune(
+                &left_matrix,
+                right_ref,
+                goal,
+                tuner,
+                &er_tune::CostModel::builtin(),
+            );
+            let trials = outcome.as_ref().map(|t| t.trials.len()).unwrap_or(0);
+            (outcome, trials)
+        })?;
+        let config = TopKConfig::from_point(&tune.chosen)?;
+        let left_ids: Vec<EntityId> = left.iter().map(|e| e.id).collect();
+        let right_ids: Vec<EntityId> = right.iter().map(|e| e.id).collect();
+        let candidates = report.time("block", || {
+            let c = top_k_blocking_scored_matrix(
+                &left_ids,
+                &left_matrix,
+                &right_ids,
+                right_ref,
+                &config,
+            );
+            let pairs = c.len();
+            (c, pairs)
+        });
+        let sweep = report.time("sweep", || {
+            let sweep = ThresholdSweep::run_with(
+                &candidates,
+                gt,
+                Clusterer::UniqueMapping,
+                &ThresholdSweep::paper_deltas(),
+            );
+            let points = sweep.points.len();
+            (sweep, points)
+        });
+        let best_delta = sweep.best().map(|p| p.delta).unwrap_or(0.0);
+        let matches = report.time("match", || {
+            let matches = Clusterer::UniqueMapping.cluster(&candidates, best_delta);
+            let count = matches.len();
+            (matches, count)
+        });
+        let report_json = report.to_json().to_string();
+        Ok((
+            ResolveOutcome {
+                matches,
+                candidates,
+                sweep,
+                best_delta,
+                report,
+                report_json,
+            },
+            tune,
+        ))
+    }
+
     /// Run the full Figure 1 pipeline: vectorize → block → threshold-swept
     /// unsupervised matching, evaluated against `gt` at every δ. The
     /// returned matches are the clusterer's output at the sweep's best-F1
